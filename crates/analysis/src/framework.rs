@@ -1,0 +1,237 @@
+//! The workload characterization framework (paper Section VI, Figure 3).
+//!
+//! For each workload, an array of architecture-agnostic features (from
+//! PRISM) is compiled together with the measured energy and speedup of a
+//! given NVM LLC configuration; linear correlation between each feature
+//! and each outcome "learns" which features predict performance and
+//! energy — for a *general-purpose* system (all workloads) or a
+//! *specialized* one (e.g. the AI subset).
+
+use std::fmt;
+
+use nvm_llc_prism::{FeatureKind, FeatureVector};
+
+use crate::pearson::abs_pearson_or_zero;
+
+/// The outcome axes of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Normalized LLC energy.
+    Energy,
+    /// Normalized system speedup.
+    Speedup,
+}
+
+impl Outcome {
+    /// Both outcomes in the paper's axis order.
+    pub const ALL: [Outcome; 2] = [Outcome::Energy, Outcome::Speedup];
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Energy => f.write_str("energy"),
+            Outcome::Speedup => f.write_str("speedup"),
+        }
+    }
+}
+
+/// One workload's observation: its feature vector plus the measured
+/// outcomes for the LLC configuration under study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The workload's architecture-agnostic features.
+    pub features: FeatureVector,
+    /// Normalized LLC energy for this workload.
+    pub energy: f64,
+    /// Normalized speedup for this workload.
+    pub speedup: f64,
+}
+
+/// A 10-feature × 2-outcome matrix of |Pearson| correlations — one
+/// Figure 4 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationMatrix {
+    /// Label for the panel (e.g. `"Jan_S fixed-capacity"`).
+    pub label: String,
+    values: [[f64; 2]; 10],
+    observations: usize,
+}
+
+impl CorrelationMatrix {
+    /// Computes the matrix from a set of observations.
+    ///
+    /// Undefined correlations (constant feature across the subset, fewer
+    /// than two observations) are reported as 0 — "no linear signal".
+    pub fn compute(label: impl Into<String>, observations: &[Observation]) -> Self {
+        let mut values = [[0.0; 2]; 10];
+        let energies: Vec<f64> = observations.iter().map(|o| o.energy).collect();
+        let speedups: Vec<f64> = observations.iter().map(|o| o.speedup).collect();
+        for kind in FeatureKind::ALL {
+            let xs: Vec<f64> = observations
+                .iter()
+                .map(|o| o.features.get(kind))
+                .collect();
+            values[kind.index()][0] = abs_pearson_or_zero(&xs, &energies);
+            values[kind.index()][1] = abs_pearson_or_zero(&xs, &speedups);
+        }
+        CorrelationMatrix {
+            label: label.into(),
+            values,
+            observations: observations.len(),
+        }
+    }
+
+    /// |Pearson| between a feature and an outcome.
+    pub fn get(&self, feature: FeatureKind, outcome: Outcome) -> f64 {
+        let col = match outcome {
+            Outcome::Energy => 0,
+            Outcome::Speedup => 1,
+        };
+        self.values[feature.index()][col]
+    }
+
+    /// Number of observations behind the matrix.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Features ranked by |correlation| with `outcome`, strongest first.
+    pub fn ranked(&self, outcome: Outcome) -> Vec<(FeatureKind, f64)> {
+        let mut v: Vec<(FeatureKind, f64)> = FeatureKind::ALL
+            .iter()
+            .map(|k| (*k, self.get(*k, outcome)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite correlations"));
+        v
+    }
+
+    /// The single strongest feature for `outcome`.
+    pub fn top_feature(&self, outcome: Outcome) -> FeatureKind {
+        self.ranked(outcome)[0].0
+    }
+
+    /// Mean |correlation| of a feature subset with `outcome` — used to
+    /// compare e.g. write-side features against totals.
+    pub fn mean_correlation(&self, features: &[FeatureKind], outcome: Outcome) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        features.iter().map(|k| self.get(*k, outcome)).sum::<f64>() / features.len() as f64
+    }
+
+    /// Renders the matrix as a text heatmap (darker glyph = stronger
+    /// correlation), feature rows × outcome columns.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} ({} observations)\n{:<9} {:>7} {:>7}\n",
+            self.label, self.observations, "feature", "energy", "speedup"
+        );
+        for kind in FeatureKind::ALL {
+            let e = self.get(kind, Outcome::Energy);
+            let s = self.get(kind, Outcome::Speedup);
+            out.push_str(&format!(
+                "{:<9} {:>5.2} {} {:>5.2} {}\n",
+                kind.label(),
+                e,
+                shade(e),
+                s,
+                shade(s)
+            ));
+        }
+        out
+    }
+}
+
+/// Five-level shading glyph for a correlation magnitude in `[0, 1]`.
+fn shade(v: f64) -> char {
+    match v {
+        v if v >= 0.9 => '█',
+        v if v >= 0.7 => '▓',
+        v if v >= 0.5 => '▒',
+        v if v >= 0.3 => '░',
+        _ => '·',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(values: [f64; 10], energy: f64, speedup: f64) -> Observation {
+        Observation {
+            features: FeatureVector::new("w", values),
+            energy,
+            speedup,
+        }
+    }
+
+    /// Three observations where energy follows feature 2 (global write
+    /// entropy) exactly and speedup follows feature 8 (total reads)
+    /// inversely.
+    fn synthetic() -> Vec<Observation> {
+        vec![
+            obs([1.0, 1.0, 10.0, 1.0, 5.0, 5.0, 5.0, 5.0, 100.0, 7.0], 10.0, 3.0),
+            obs([2.0, 1.5, 20.0, 2.0, 5.0, 6.0, 4.0, 5.0, 200.0, 7.5], 20.0, 2.0),
+            obs([1.5, 1.2, 30.0, 3.0, 5.5, 5.5, 4.5, 5.0, 300.0, 7.2], 30.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn exact_linear_feature_correlates_fully() {
+        let m = CorrelationMatrix::compute("test", &synthetic());
+        assert!((m.get(FeatureKind::GlobalWriteEntropy, Outcome::Energy) - 1.0).abs() < 1e-9);
+        assert!((m.get(FeatureKind::TotalReads, Outcome::Speedup) - 1.0).abs() < 1e-9);
+        assert_eq!(m.observations(), 3);
+    }
+
+    #[test]
+    fn constant_feature_has_zero_correlation() {
+        let m = CorrelationMatrix::compute("test", &synthetic());
+        // 90%ft_w is constant (5.0) across observations.
+        assert_eq!(m.get(FeatureKind::WriteFootprint90, Outcome::Energy), 0.0);
+    }
+
+    #[test]
+    fn ranking_puts_strongest_first() {
+        let m = CorrelationMatrix::compute("test", &synthetic());
+        let ranked = m.ranked(Outcome::Energy);
+        assert_eq!(ranked[0].0, m.top_feature(Outcome::Energy));
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(ranked.len(), 10);
+    }
+
+    #[test]
+    fn mean_correlation_averages_subsets() {
+        let m = CorrelationMatrix::compute("test", &synthetic());
+        let full = m.mean_correlation(&[FeatureKind::GlobalWriteEntropy], Outcome::Energy);
+        assert!((full - 1.0).abs() < 1e-9);
+        assert_eq!(m.mean_correlation(&[], Outcome::Energy), 0.0);
+    }
+
+    #[test]
+    fn render_contains_labels_and_shades() {
+        let m = CorrelationMatrix::compute("Jan_S fixed-capacity", &synthetic());
+        let text = m.render();
+        assert!(text.contains("Jan_S fixed-capacity"));
+        assert!(text.contains("H_wg"));
+        assert!(text.contains('█'));
+    }
+
+    #[test]
+    fn empty_observations_yield_all_zero() {
+        let m = CorrelationMatrix::compute("empty", &[]);
+        for k in FeatureKind::ALL {
+            assert_eq!(m.get(k, Outcome::Energy), 0.0);
+        }
+    }
+
+    #[test]
+    fn shade_levels() {
+        assert_eq!(shade(0.95), '█');
+        assert_eq!(shade(0.75), '▓');
+        assert_eq!(shade(0.55), '▒');
+        assert_eq!(shade(0.35), '░');
+        assert_eq!(shade(0.1), '·');
+    }
+}

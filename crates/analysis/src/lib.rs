@@ -1,0 +1,71 @@
+//! # nvm-llc-analysis — feature/outcome correlation framework
+//!
+//! Implements the paper's Section VI: Pearson linear correlation between
+//! architecture-agnostic workload features (from `nvm-llc-prism`) and the
+//! measured energy/speedup of NVM-based LLC configurations (from
+//! `nvm-llc-sim`), packaged as the per-technology heatmap panels of
+//! Figure 4.
+//!
+//! ```
+//! use nvm_llc_analysis::{CorrelationMatrix, Observation, Outcome};
+//! use nvm_llc_prism::FeatureVector;
+//!
+//! let observations = vec![
+//!     Observation { features: FeatureVector::new("a", [1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 1.0]), energy: 2.0, speedup: 1.0 },
+//!     Observation { features: FeatureVector::new("b", [2.0, 0.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.0, 2.0]), energy: 4.0, speedup: 1.1 },
+//!     Observation { features: FeatureVector::new("c", [3.0, 0.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0, 7.0, 3.0]), energy: 6.0, speedup: 1.2 },
+//! ];
+//! let matrix = CorrelationMatrix::compute("demo", &observations);
+//! assert!(matrix.get(nvm_llc_prism::FeatureKind::GlobalWriteEntropy, Outcome::Energy) > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod framework;
+pub mod pearson;
+pub mod selection;
+pub mod spearman;
+
+pub use framework::{CorrelationMatrix, Observation, Outcome};
+pub use pearson::{abs_pearson_or_zero, pearson};
+pub use selection::{forward_select, SelectionStep};
+pub use spearman::spearman;
+
+#[cfg(test)]
+mod proptests {
+    use crate::pearson::pearson;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pearson is always in [-1, 1] when defined.
+        #[test]
+        fn pearson_bounded(
+            xy in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..100),
+        ) {
+            let x: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+
+        /// Correlation with an affine transform of itself is ±1.
+        #[test]
+        fn affine_self_correlation(
+            x in proptest::collection::vec(-1e3f64..1e3, 3..50),
+            a in -10.0f64..10.0,
+            b in -100.0f64..100.0,
+        ) {
+            prop_assume!(a.abs() > 1e-6);
+            // Skip near-constant series.
+            let spread = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - x.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assume!(spread > 1e-6);
+            let y: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+            let r = pearson(&x, &y).unwrap();
+            prop_assert!((r.abs() - 1.0).abs() < 1e-6);
+            prop_assert_eq!(r.signum(), a.signum());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Pearson linear correlation.
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `None` when the correlation is undefined: fewer than two
+/// points, mismatched lengths, a constant series, or non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_analysis::pearson::pearson;
+///
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// let anti = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+/// assert!((anti + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Absolute Pearson correlation, `0` when undefined — the quantity the
+/// paper's Figure 4 heatmaps display (magnitude of linear relationship).
+pub fn abs_pearson_or_zero(x: &[f64], y: &[f64]) -> f64 {
+    pearson(x, y).map_or(0.0, f64::abs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_relationships() {
+        assert!((pearson(&[0.0, 1.0, 2.0], &[5.0, 7.0, 9.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&[0.0, 1.0, 2.0], &[9.0, 7.0, 5.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_symmetric_data_is_near_zero() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y = [4.0, 1.0, 0.0, 1.0, 4.0]; // y = x², even function
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases_return_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn abs_helper_zeroes_undefined() {
+        assert_eq!(abs_pearson_or_zero(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert!((abs_pearson_or_zero(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_scale_invariant() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = [2.0, 3.0, 1.0, 9.0, 4.0];
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        let scaled: Vec<f64> = x.iter().map(|v| v * 100.0 + 7.0).collect();
+        let c = pearson(&scaled, &y).unwrap();
+        assert!((a - c).abs() < 1e-12);
+    }
+}

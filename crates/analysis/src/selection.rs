@@ -1,0 +1,243 @@
+//! Feature selection on top of the correlation framework: which minimal
+//! feature subset would a designer actually profile?
+//!
+//! The paper "learns which features are most useful in predicting
+//! performance and energy" (Section VI, Figure 3); this module makes that
+//! operational with greedy forward selection under a simple linear model:
+//! repeatedly add the feature that most improves the fit (R² of
+//! least-squares on the already-selected features plus the candidate),
+//! stopping when the gain falls below a threshold.
+
+use nvm_llc_prism::FeatureKind;
+
+use crate::framework::Observation;
+
+/// One step of the greedy selection trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionStep {
+    /// The feature added at this step.
+    pub feature: FeatureKind,
+    /// Model R² after adding it.
+    pub r_squared: f64,
+    /// Improvement over the previous step.
+    pub gain: f64,
+}
+
+/// Greedy forward feature selection for predicting `target` (extracted
+/// per observation by the closure) from the Table VI features.
+///
+/// Returns the selection trace, strongest first. Selection stops when no
+/// candidate improves R² by at least `min_gain`, or every feature is in.
+pub fn forward_select(
+    observations: &[Observation],
+    target: impl Fn(&Observation) -> f64,
+    min_gain: f64,
+) -> Vec<SelectionStep> {
+    let y: Vec<f64> = observations.iter().map(&target).collect();
+    if y.len() < 2 {
+        return Vec::new();
+    }
+    let mut selected: Vec<FeatureKind> = Vec::new();
+    let mut steps: Vec<SelectionStep> = Vec::new();
+    let mut best_r2 = 0.0;
+
+    loop {
+        let mut best: Option<(FeatureKind, f64)> = None;
+        for kind in FeatureKind::ALL {
+            if selected.contains(&kind) {
+                continue;
+            }
+            let mut candidate = selected.clone();
+            candidate.push(kind);
+            let r2 = fit_r_squared(observations, &candidate, &y);
+            if best.is_none_or(|(_, b)| r2 > b) {
+                best = Some((kind, r2));
+            }
+        }
+        match best {
+            Some((kind, r2)) if r2 - best_r2 >= min_gain => {
+                steps.push(SelectionStep {
+                    feature: kind,
+                    r_squared: r2,
+                    gain: r2 - best_r2,
+                });
+                best_r2 = r2;
+                selected.push(kind);
+            }
+            _ => break,
+        }
+        if selected.len() == FeatureKind::ALL.len() {
+            break;
+        }
+    }
+    steps
+}
+
+/// R² of an ordinary-least-squares fit of `y` on the given (standardized)
+/// features, solved by normal equations with Gaussian elimination.
+/// Degenerate systems (collinear or constant features) fall back to the
+/// best single-feature fit among the subset.
+fn fit_r_squared(observations: &[Observation], features: &[FeatureKind], y: &[f64]) -> f64 {
+    let n = y.len();
+    let k = features.len();
+    if n <= k {
+        // Not enough observations to fit this many coefficients honestly.
+        return single_feature_fallback(observations, features, y);
+    }
+    // Build the design matrix with an intercept, features standardized to
+    // keep the normal equations well-conditioned.
+    let mut x = vec![vec![1.0; k + 1]; n];
+    for (j, kind) in features.iter().enumerate() {
+        let col: Vec<f64> = observations.iter().map(|o| o.features.get(*kind)).collect();
+        let mean = col.iter().sum::<f64>() / n as f64;
+        let var = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        if sd == 0.0 {
+            return single_feature_fallback(observations, features, y);
+        }
+        for (i, v) in col.iter().enumerate() {
+            x[i][j + 1] = (v - mean) / sd;
+        }
+    }
+    // Normal equations: (XᵀX) β = Xᵀy.
+    let dim = k + 1;
+    let mut a = vec![vec![0.0; dim + 1]; dim];
+    for r in 0..dim {
+        for c in 0..dim {
+            a[r][c] = (0..n).map(|i| x[i][r] * x[i][c]).sum();
+        }
+        a[r][dim] = (0..n).map(|i| x[i][r] * y[i]).sum();
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..dim {
+        let pivot = (col..dim)
+            .max_by(|&p, &q| a[p][col].abs().partial_cmp(&a[q][col].abs()).expect("finite"))
+            .expect("non-empty");
+        if a[pivot][col].abs() < 1e-12 {
+            return single_feature_fallback(observations, features, y);
+        }
+        a.swap(col, pivot);
+        for row in 0..dim {
+            if row != col {
+                let factor = a[row][col] / a[col][col];
+                for c in col..=dim {
+                    a[row][c] -= factor * a[col][c];
+                }
+            }
+        }
+    }
+    let beta: Vec<f64> = (0..dim).map(|r| a[r][dim] / a[r][r]).collect();
+
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = (0..n)
+        .map(|i| {
+            let pred: f64 = (0..dim).map(|j| beta[j] * x[i][j]).sum();
+            (y[i] - pred).powi(2)
+        })
+        .sum();
+    (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+}
+
+/// Best single-feature Pearson² among the subset — the honest fallback
+/// for degenerate multi-feature fits.
+fn single_feature_fallback(
+    observations: &[Observation],
+    features: &[FeatureKind],
+    y: &[f64],
+) -> f64 {
+    features
+        .iter()
+        .map(|kind| {
+            let xs: Vec<f64> = observations.iter().map(|o| o.features.get(*kind)).collect();
+            crate::pearson::pearson(&xs, y).map_or(0.0, |r| r * r)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_prism::FeatureVector;
+
+    fn obs(values: [f64; 10], energy: f64) -> Observation {
+        Observation {
+            features: FeatureVector::new("w", values),
+            energy,
+            speedup: 1.0,
+        }
+    }
+
+    /// Energy = 2·f2 + noiseless; everything else random-ish constants.
+    fn linear_in_write_entropy(n: usize) -> Vec<Observation> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                let mut v = [0.0; 10];
+                v[2] = x; // GlobalWriteEntropy
+                v[0] = (x * 7.0) % 5.0; // decoy
+                v[8] = 3.0 + (x * 13.0) % 7.0; // decoy
+                obs(v, 2.0 * x + 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selects_the_true_predictor_first() {
+        let data = linear_in_write_entropy(12);
+        let steps = forward_select(&data, |o| o.energy, 0.01);
+        assert!(!steps.is_empty());
+        assert_eq!(steps[0].feature, FeatureKind::GlobalWriteEntropy);
+        assert!(steps[0].r_squared > 0.999, "{}", steps[0].r_squared);
+    }
+
+    #[test]
+    fn stops_when_gain_is_exhausted() {
+        let data = linear_in_write_entropy(12);
+        let steps = forward_select(&data, |o| o.energy, 0.01);
+        // One perfect predictor: nothing else clears the gain bar.
+        assert_eq!(steps.len(), 1);
+    }
+
+    #[test]
+    fn two_signal_features_are_both_found() {
+        let data: Vec<Observation> = (0..16)
+            .map(|i| {
+                let x = i as f64;
+                let z = ((i * 7) % 16) as f64;
+                let mut v = [0.0; 10];
+                v[2] = x;
+                v[5] = z; // UniqueWrites
+                obs(v, 2.0 * x + 5.0 * z)
+            })
+            .collect();
+        let steps = forward_select(&data, |o| o.energy, 0.01);
+        let picked: Vec<FeatureKind> = steps.iter().map(|s| s.feature).collect();
+        assert!(picked.contains(&FeatureKind::GlobalWriteEntropy));
+        assert!(picked.contains(&FeatureKind::UniqueWrites));
+        assert!(steps.last().unwrap().r_squared > 0.999);
+    }
+
+    #[test]
+    fn r_squared_is_monotone_over_steps() {
+        let data = linear_in_write_entropy(16);
+        let steps = forward_select(&data, |o| o.energy, 0.0001);
+        for w in steps.windows(2) {
+            assert!(w[1].r_squared >= w[0].r_squared - 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiny_observation_sets_degrade_gracefully() {
+        let data = linear_in_write_entropy(3);
+        let steps = forward_select(&data, |o| o.energy, 0.01);
+        // With 3 points the single-feature fallback still finds a
+        // perfectly-correlated feature (several decoys tie at n=3).
+        assert!(!steps.is_empty());
+        assert!(steps[0].r_squared > 0.99);
+        assert!(forward_select(&data[..1], |o| o.energy, 0.01).is_empty());
+    }
+}

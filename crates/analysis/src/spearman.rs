@@ -1,0 +1,97 @@
+//! Spearman rank correlation — a robustness companion to the paper's
+//! Pearson analysis: identical conclusions under monotone but non-linear
+//! feature/outcome relationships strengthen the Section VI story.
+
+use crate::pearson::pearson;
+
+/// Average ranks of a series (ties share the mean of their positions).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut indexed: Vec<(usize, f64)> =
+        values.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < indexed.len() {
+        let mut j = i;
+        while j + 1 < indexed.len() && indexed[j + 1].1 == indexed[i].1 {
+            j += 1;
+        }
+        // Positions i..=j tie: assign the mean rank (1-based).
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[indexed[k].0] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient.
+///
+/// Returns `None` under the same conditions as [`pearson`] (fewer than
+/// two points, constant series, non-finite values).
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_analysis::spearman::spearman;
+///
+/// // A monotone but non-linear relationship: Pearson < 1, Spearman = 1.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return None;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_handle_ties_with_mean_positions() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_perfectly_rank_correlated() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        let s = spearman(&x, &y).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Pearson sees the curvature.
+        let p = crate::pearson::pearson(&x, &y).unwrap();
+        assert!(p < s);
+    }
+
+    #[test]
+    fn anti_monotone_is_minus_one() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [9.0, 4.0, 1.0];
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases_mirror_pearson() {
+        assert_eq!(spearman(&[1.0], &[1.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(spearman(&[1.0, f64::NAN], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn agrees_with_pearson_on_linear_data() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let s = spearman(&x, &y).unwrap();
+        let p = crate::pearson::pearson(&x, &y).unwrap();
+        assert!((s - p).abs() < 1e-12);
+    }
+}

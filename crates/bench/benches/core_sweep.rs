@@ -1,0 +1,31 @@
+//! Regenerates the Section V-C core sweep and times an 8-core simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::circuit::reference;
+use nvm_llc::experiments::core_sweep;
+use nvm_llc::sim::{ArchConfig, System};
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let sweep = core_sweep::run(Scale::DEFAULT);
+    print_artifact("Section V-C — core sweep", &sweep.render());
+
+    c.bench_function("simulate_mg_8_cores_hayakawa", |b| {
+        let llc = reference::by_name(&reference::fixed_area(), "Hayakawa").unwrap();
+        let trace = workloads::by_name("mg")
+            .unwrap()
+            .with_threads_weak_scaling(8)
+            .generate(2019, 10_000);
+        let system = System::new(ArchConfig::gainestown(llc).with_cores(8));
+        b.iter(|| std::hint::black_box(system.run(&trace)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates the extension studies built on top of the paper: the
+//! Section VII lifetime characterization, the feature-selection traces,
+//! and reuse-distance miss-ratio curves; times the reuse-distance kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvm_llc::experiments::{dl_extension, lifetime, selection};
+use nvm_llc::prism::reuse::reuse_histogram;
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    print_artifact(
+        "Extension — lifetime characterization (paper §VII)",
+        &lifetime::run(Scale::DEFAULT).render(),
+    );
+    print_artifact(
+        "Extension — feature selection (Section VI, operationalized)",
+        &selection::run(Scale::DEFAULT).render(),
+    );
+    print_artifact(
+        "Extension — deep-learning workloads (Fathom/TBD pointer)",
+        &dl_extension::run(Scale::DEFAULT).render(),
+    );
+
+    let mut body = String::from("Miss-ratio curves at the paper's capacity points\n");
+    body.push_str(&format!(
+        "{:<11} {:>8} {:>8} {:>8} {:>8}\n",
+        "bmk", "2MB", "8MB", "32MB", "128MB"
+    ));
+    for name in ["bzip2", "gobmk", "mg", "deepsjeng", "leela", "cg"] {
+        let w = workloads::by_name(name).unwrap();
+        let trace = w.generate(2019, w.scaled_accesses(Scale::DEFAULT.base_accesses));
+        let h = reuse_histogram(&trace);
+        body.push_str(&format!(
+            "{:<11} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%\n",
+            name,
+            h.miss_ratio_at(32 * 1024) * 100.0,
+            h.miss_ratio_at(128 * 1024) * 100.0,
+            h.miss_ratio_at(512 * 1024) * 100.0,
+            h.miss_ratio_at(2048 * 1024) * 100.0,
+        ));
+    }
+    print_artifact("Extension — reuse-distance analysis", &body);
+
+    let trace = workloads::by_name("gobmk").unwrap().generate(2019, 100_000);
+    let mut group = c.benchmark_group("reuse_distance");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("histogram_gobmk_100k", |b| {
+        b.iter(|| std::hint::black_box(reuse_histogram(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

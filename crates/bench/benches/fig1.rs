@@ -1,0 +1,26 @@
+//! Regenerates Figure 1 (fixed-capacity speedup / LLC energy / ED²P) and
+//! times one full workload-row evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::experiments::{evaluator, fig1, Configuration};
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig1::run(Scale::DEFAULT);
+    print_artifact("Figure 1 — fixed-capacity evaluation", &fig.render());
+
+    c.bench_function("fig1_row_tonto_all_technologies", |b| {
+        let eval = evaluator(Configuration::FixedCapacity, Scale::SMOKE);
+        let w = workloads::by_name("tonto").unwrap();
+        b.iter(|| std::hint::black_box(eval.run_workload(&w)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

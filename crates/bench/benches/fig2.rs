@@ -1,0 +1,26 @@
+//! Regenerates Figure 2 (fixed-area speedup / LLC energy / ED²P) and
+//! times a capacity-sensitive row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::experiments::{evaluator, fig2, Configuration};
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig2::run(Scale::DEFAULT);
+    print_artifact("Figure 2 — fixed-area evaluation", &fig.render());
+
+    c.bench_function("fig2_row_gobmk_all_technologies", |b| {
+        let eval = evaluator(Configuration::FixedArea, Scale::SMOKE);
+        let w = workloads::by_name("gobmk").unwrap();
+        b.iter(|| std::hint::black_box(eval.run_workload(&w)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figure 4 (feature correlation heatmaps) and times the
+//! correlation framework.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::analysis::{CorrelationMatrix, Observation};
+use nvm_llc::experiments::fig4;
+use nvm_llc::prism::FeatureVector;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig4::run(Scale::DEFAULT);
+    print_artifact("Figure 4 — feature correlations", &fig.render());
+
+    c.bench_function("correlation_matrix_16_observations", |b| {
+        let observations: Vec<Observation> = (0..16)
+            .map(|i| {
+                let x = i as f64;
+                Observation {
+                    features: FeatureVector::new(
+                        format!("w{i}"),
+                        [x, x * 0.5, x * 2.0, x, 100.0 - x, x, x * x, x, 7.0, x],
+                    ),
+                    energy: 3.0 * x + 1.0,
+                    speedup: 1.0 / (x + 1.0),
+                }
+            })
+            .collect();
+        b.iter(|| std::hint::black_box(CorrelationMatrix::compute("bench", &observations)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates Table II (NVM cell parameters with heuristic completion)
+//! and times the heuristic engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::cell::{technologies, HeuristicEngine};
+use nvm_llc::experiments::table2;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let result = table2::run();
+    print_artifact("Table II — NVM cell parameters", &result.render());
+    println!(
+        "Re-derivation agreement with the paper's starred values (±50%): {:.0}%",
+        result.rederivation_agreement(0.5) * 100.0
+    );
+
+    c.bench_function("heuristic_engine_completes_all_nvms", |b| {
+        let engine = HeuristicEngine::new(technologies::all_nvms_reported());
+        b.iter(|| {
+            for cell in technologies::all_nvms_reported() {
+                let (done, _) = engine.complete(cell).expect("completes");
+                std::hint::black_box(done);
+            }
+        })
+    });
+
+    c.bench_function("cellfile_round_trip_catalog", |b| {
+        let catalog = nvm_llc::cell::Catalog::paper();
+        b.iter(|| {
+            let text = nvm_llc::cell::cellfile::catalog_to_string(&catalog);
+            let cells = nvm_llc::cell::cellfile::parse_many(&text).expect("parses");
+            std::hint::black_box(cells)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Table III (LLC models, fixed-capacity and fixed-area) and
+//! Table IV (architecture), timing the circuit modeler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::circuit::CacheModeler;
+use nvm_llc::cell::technologies;
+use nvm_llc::experiments::{table3, table4};
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let result = table3::run();
+    print_artifact("Table III — Gainestown LLC models", &result.render());
+    println!(
+        "Generated/paper geometric-mean ratios: write latency {:.2}, leakage {:.2}, area {:.2}",
+        result.geomean_ratio(|m| m.write_latency().value()),
+        result.geomean_ratio(|m| m.leakage.value()),
+        result.geomean_ratio(|m| m.area.value()),
+    );
+    print_artifact("Table IV — simulated architecture", &table4::render_default());
+
+    c.bench_function("model_2mb_llc_all_technologies", |b| {
+        b.iter(|| {
+            for cell in technologies::all_nvms() {
+                let m = CacheModeler::new(cell).model(2 * 1024 * 1024).expect("models");
+                std::hint::black_box(m);
+            }
+        })
+    });
+
+    c.bench_function("fixed_area_capacity_search_zhang", |b| {
+        let modeler = CacheModeler::new(technologies::zhang());
+        b.iter(|| {
+            let m = nvm_llc::circuit::fixed_area::paper_fixed_area_model(&modeler)
+                .expect("fits budget");
+            std::hint::black_box(m)
+        })
+    });
+
+    c.bench_function("design_space_search_chung", |b| {
+        let modeler = CacheModeler::new(technologies::chung());
+        b.iter(|| std::hint::black_box(modeler.solve_optimal(2 * 1024 * 1024).expect("solves")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

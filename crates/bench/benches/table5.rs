@@ -1,0 +1,31 @@
+//! Regenerates Table V (workloads and LLC mpki on the SRAM baseline) and
+//! times the simulator's event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvm_llc::circuit::reference;
+use nvm_llc::experiments::table5;
+use nvm_llc::sim::{ArchConfig, System};
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let result = table5::run(Scale::DEFAULT);
+    print_artifact("Table V — workloads and LLC mpki", &result.render());
+
+    let trace = workloads::by_name("leela").unwrap().generate(2019, 100_000);
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("replay_leela_100k_sram", |b| {
+        let system = System::new(ArchConfig::gainestown(reference::sram_baseline()));
+        b.iter(|| std::hint::black_box(system.run(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

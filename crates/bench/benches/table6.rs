@@ -1,0 +1,34 @@
+//! Regenerates Table VI (architecture-agnostic workload features) and
+//! times the PRISM-style profiler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvm_llc::experiments::table6;
+use nvm_llc::prism::profiler;
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+use nvm_llc_bench::print_artifact;
+
+fn bench(c: &mut Criterion) {
+    let result = table6::run(Scale::DEFAULT);
+    print_artifact("Table VI — workload features", &result.render());
+
+    let trace = workloads::by_name("cg").unwrap().generate(2019, 25_000);
+    let mut group = c.benchmark_group("prism_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("characterize_cg_100k_events", |b| {
+        b.iter(|| std::hint::black_box(profiler::characterize("cg", &trace)))
+    });
+    group.finish();
+
+    c.bench_function("trace_generation_deepsjeng_100k", |b| {
+        let w = workloads::by_name("deepsjeng").unwrap();
+        b.iter(|| std::hint::black_box(w.generate(2019, 100_000)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

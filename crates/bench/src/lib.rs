@@ -1,0 +1,15 @@
+//! Shared helpers for the table/figure benches (see the `benches/`
+//! directory of this crate).
+//!
+//! Each bench prints its regenerated paper artifact once, then times the
+//! underlying kernel with criterion so regressions in the hot paths are
+//! visible.
+
+/// Prints a banner followed by the artifact body, flushing stdout so the
+/// output survives criterion's own logging.
+pub fn print_artifact(title: &str, body: &str) {
+    use std::io::Write as _;
+    let rule = "=".repeat(title.len().min(100));
+    println!("\n{rule}\n{title}\n{rule}\n{body}");
+    let _ = std::io::stdout().flush();
+}

@@ -1,0 +1,208 @@
+//! A registry of cell models, addressable by citation name.
+//!
+//! The paper releases its NVM cell models publicly; [`Catalog::paper`]
+//! reconstructs exactly that release — the ten Table II technologies plus
+//! the SRAM baseline — and supports lookup, class filtering, and bulk
+//! export through [`crate::cellfile`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::class::MemClass;
+use crate::error::CellError;
+use crate::params::CellParams;
+use crate::technologies;
+
+/// An ordered collection of named cell models.
+///
+/// Iteration order is insertion order (Table II column order for
+/// [`Catalog::paper`]).
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::{Catalog, MemClass};
+///
+/// let catalog = Catalog::paper();
+/// assert_eq!(catalog.len(), 11); // 10 NVMs + SRAM
+/// let zhang = catalog.get("Zhang")?;
+/// assert_eq!(zhang.class(), MemClass::Rram);
+/// # Ok::<(), nvm_llc_cell::CellError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    order: Vec<String>,
+    cells: BTreeMap<String, CellParams>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's released model set: Table II's ten NVMs followed by the
+    /// 45 nm SRAM baseline.
+    pub fn paper() -> Self {
+        let mut catalog = Catalog::new();
+        for cell in technologies::all_nvms() {
+            catalog.insert(cell);
+        }
+        catalog.insert(technologies::sram_baseline());
+        catalog
+    }
+
+    /// Inserts (or replaces) a model, keyed by its citation name. Returns
+    /// the previous model with that name, if any.
+    pub fn insert(&mut self, cell: CellParams) -> Option<CellParams> {
+        let name = cell.name().to_owned();
+        let prev = self.cells.insert(name.clone(), cell);
+        if prev.is_none() {
+            self.order.push(name);
+        }
+        prev
+    }
+
+    /// Looks up a model by citation name (case-sensitive, e.g. `"Zhang"`).
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::UnknownTechnology`] when absent.
+    pub fn get(&self, name: &str) -> Result<&CellParams, CellError> {
+        self.cells
+            .get(name)
+            .ok_or_else(|| CellError::UnknownTechnology(name.to_owned()))
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the catalog holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates models in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &CellParams> {
+        self.order.iter().map(|n| &self.cells[n])
+    }
+
+    /// All models of one class, in insertion order.
+    pub fn by_class(&self, class: MemClass) -> Vec<&CellParams> {
+        self.iter().filter(|c| c.class() == class).collect()
+    }
+
+    /// The non-volatile models only, in insertion order.
+    pub fn nvms(&self) -> Vec<&CellParams> {
+        self.iter().filter(|c| c.class().is_non_volatile()).collect()
+    }
+
+    /// Validates every model in the catalog.
+    ///
+    /// # Errors
+    ///
+    /// The first validation failure, naming the offending technology.
+    pub fn validate_all(&self) -> Result<(), CellError> {
+        self.iter().try_for_each(CellParams::validate)
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "catalog of {} cell models [", self.len())?;
+        for (i, cell) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", cell.display_name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<CellParams> for Catalog {
+    fn from_iter<I: IntoIterator<Item = CellParams>>(iter: I) -> Self {
+        let mut catalog = Catalog::new();
+        catalog.extend(iter);
+        catalog
+    }
+}
+
+impl Extend<CellParams> for Catalog {
+    fn extend<I: IntoIterator<Item = CellParams>>(&mut self, iter: I) {
+        for cell in iter {
+            self.insert(cell);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Catalog {
+    type Item = &'a CellParams;
+    type IntoIter = std::vec::IntoIter<&'a CellParams>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_contains_eleven_models_in_table_order() {
+        let c = Catalog::paper();
+        assert_eq!(c.len(), 11);
+        let names: Vec<_> = c.iter().map(|m| m.name()).collect();
+        assert_eq!(names.first(), Some(&"Oh"));
+        assert_eq!(names.last(), Some(&"SRAM"));
+        assert!(c.validate_all().is_ok());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = Catalog::paper();
+        assert_eq!(c.get("Jan").unwrap().class(), MemClass::Sttram);
+        assert!(matches!(
+            c.get("Mystery"),
+            Err(CellError::UnknownTechnology(_))
+        ));
+    }
+
+    #[test]
+    fn class_filters() {
+        let c = Catalog::paper();
+        assert_eq!(c.by_class(MemClass::Pcram).len(), 4);
+        assert_eq!(c.by_class(MemClass::Sttram).len(), 4);
+        assert_eq!(c.by_class(MemClass::Rram).len(), 2);
+        assert_eq!(c.by_class(MemClass::Sram).len(), 1);
+        assert_eq!(c.nvms().len(), 10);
+    }
+
+    #[test]
+    fn insert_replaces_and_keeps_order() {
+        let mut c = Catalog::paper();
+        let replacement = crate::technologies::zhang();
+        let prev = c.insert(replacement);
+        assert!(prev.is_some());
+        assert_eq!(c.len(), 11);
+        // Zhang keeps its original position (10th, before SRAM).
+        let names: Vec<_> = c.iter().map(|m| m.name()).collect();
+        assert_eq!(names[9], "Zhang");
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let c: Catalog = crate::technologies::all_nvms().into_iter().collect();
+        assert_eq!(c.len(), 10);
+        assert!(c.is_empty() == false);
+    }
+
+    #[test]
+    fn display_lists_display_names() {
+        let c: Catalog = [crate::technologies::zhang()].into_iter().collect();
+        assert_eq!(c.to_string(), "catalog of 1 cell models [Zhang_R]");
+    }
+}

@@ -1,0 +1,395 @@
+//! NVSim-style `.cell` file serialization.
+//!
+//! The paper releases its cell models publicly in the configuration format
+//! consumed by NVSim. This module writes and parses that format so the
+//! models in this crate round-trip through the same artifact the authors
+//! published:
+//!
+//! ```text
+//! // Chung_S — STTRAM, IEDM 2010
+//! -MemCellType: STTRAM
+//! -CitationYear: 2010
+//! -AccessType: CMOS
+//! -ProcessNode: 54
+//! -CellArea (F^2): 14  // reported
+//! -ReadVoltage (V): 0.65  // reported
+//! -ResetEnergy (pJ): 0.52  // derived: electrical (heuristic 1)
+//! ...
+//! ```
+//!
+//! Provenance survives the round trip via the trailing comment on each
+//! parameter line.
+
+use crate::class::{AccessDevice, MemClass};
+use crate::error::CellError;
+use crate::params::{CellParams, Param, Provenance};
+
+/// Serializes a cell model to `.cell` text.
+///
+/// Only parameters applicable to the cell's class are emitted, in Table II
+/// row order; derived values carry a `// derived:` comment naming the
+/// heuristic.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::{cellfile, technologies};
+///
+/// let text = cellfile::to_string(&technologies::zhang());
+/// assert!(text.contains("-MemCellType: RRAM"));
+/// let back = cellfile::from_str(&text)?;
+/// assert_eq!(back, technologies::zhang());
+/// # Ok::<(), nvm_llc_cell::CellError>(())
+/// ```
+pub fn to_string(cell: &CellParams) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// {} — {}, {}\n",
+        cell.display_name(),
+        cell.class(),
+        cell.year()
+    ));
+    out.push_str(&format!("-CellName: {}\n", cell.name()));
+    out.push_str(&format!("-MemCellType: {}\n", cell.class()));
+    out.push_str(&format!("-CitationYear: {}\n", cell.year()));
+    out.push_str(&format!("-AccessType: {}\n", cell.access_device()));
+    for param in Param::ALL {
+        if let Some(value) = cell.get(param) {
+            let provenance = cell.provenance(param).unwrap_or_default();
+            let mut line = format!("{}: {}", param.key(), format_value(value));
+            if provenance.is_derived() {
+                line.push_str(&format!("  // derived: {provenance}"));
+            } else {
+                line.push_str("  // reported");
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+    }
+    out
+}
+
+/// Serializes a whole catalog, models separated by blank lines.
+pub fn catalog_to_string(catalog: &crate::catalog::Catalog) -> String {
+    catalog
+        .iter()
+        .map(to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Writes the catalog as a model-release directory: one
+/// `<Name>.cell` file per technology — the layout of the paper's public
+/// model release (`http://sites.tufts.edu/tcal/nvm-models`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_catalog_dir(
+    catalog: &crate::catalog::Catalog,
+    dir: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for cell in catalog.iter() {
+        std::fs::write(dir.join(format!("{}.cell", cell.name())), to_string(cell))?;
+    }
+    Ok(())
+}
+
+/// Reads every `*.cell` file in a release directory back into a catalog.
+///
+/// # Errors
+///
+/// I/O errors, or [`CellError`] wrapped in `io::Error` on parse failure.
+pub fn read_catalog_dir(dir: &std::path::Path) -> std::io::Result<crate::catalog::Catalog> {
+    let mut cells = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "cell"))
+        .collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let text = std::fs::read_to_string(entry.path())?;
+        let cell = from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        cells.push(cell);
+    }
+    Ok(cells.into_iter().collect())
+}
+
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Parses one cell model from `.cell` text.
+///
+/// # Errors
+///
+/// [`CellError::Parse`] with a 1-based line number on malformed input;
+/// [`CellError::UnknownClass`] / [`CellError::UnknownAccessDevice`] on bad
+/// enumeration values.
+pub fn from_str(text: &str) -> Result<CellParams, CellError> {
+    let mut cells = parse_many(text)?;
+    match cells.len() {
+        1 => Ok(cells.remove(0)),
+        n => Err(CellError::Parse {
+            line: 1,
+            message: format!("expected exactly one cell model, found {n}"),
+        }),
+    }
+}
+
+/// Parses any number of concatenated cell models (the bulk-release format).
+///
+/// # Errors
+///
+/// Same conditions as [`from_str`].
+pub fn parse_many(text: &str) -> Result<Vec<CellParams>, CellError> {
+    let mut cells = Vec::new();
+    let mut current: Option<PendingCell> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or_else(|| CellError::Parse {
+            line: lineno,
+            message: format!("expected `key: value`, got `{line}`"),
+        })?;
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "-CellName" => {
+                if let Some(pending) = current.take() {
+                    cells.push(pending.finish()?);
+                }
+                current = Some(PendingCell::new(value.to_owned()));
+            }
+            "-MemCellType" => {
+                let pending = current.as_mut().ok_or_else(|| missing_name(lineno))?;
+                pending.class = Some(value.parse()?);
+            }
+            "-CitationYear" => {
+                let pending = current.as_mut().ok_or_else(|| missing_name(lineno))?;
+                pending.year = Some(value.parse().map_err(|_| CellError::Parse {
+                    line: lineno,
+                    message: format!("invalid year `{value}`"),
+                })?);
+            }
+            "-AccessType" => {
+                let pending = current.as_mut().ok_or_else(|| missing_name(lineno))?;
+                pending.access = Some(value.parse()?);
+            }
+            _ => {
+                let pending = current.as_mut().ok_or_else(|| missing_name(lineno))?;
+                let param = param_for_key(key).ok_or_else(|| CellError::Parse {
+                    line: lineno,
+                    message: format!("unknown parameter key `{key}`"),
+                })?;
+                let number: f64 = value.parse().map_err(|_| CellError::Parse {
+                    line: lineno,
+                    message: format!("invalid number `{value}` for {param}"),
+                })?;
+                let provenance = provenance_from_comment(raw);
+                pending.params.push((param, number, provenance));
+            }
+        }
+    }
+    if let Some(pending) = current.take() {
+        cells.push(pending.finish()?);
+    }
+    Ok(cells)
+}
+
+fn missing_name(line: usize) -> CellError {
+    CellError::Parse {
+        line,
+        message: "parameter before any -CellName header".to_owned(),
+    }
+}
+
+/// The part of a line before any `//` comment.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Extracts the provenance recorded in a trailing comment, defaulting to
+/// reported.
+fn provenance_from_comment(raw: &str) -> Provenance {
+    let comment = match raw.find("//") {
+        Some(pos) => &raw[pos..],
+        None => return Provenance::Reported,
+    };
+    if comment.contains("electrical") {
+        Provenance::Electrical
+    } else if comment.contains("interpolated") {
+        Provenance::Interpolated
+    } else if comment.contains("similarity") {
+        Provenance::Similarity
+    } else {
+        Provenance::Reported
+    }
+}
+
+fn param_for_key(key: &str) -> Option<Param> {
+    // Keys carry a unit suffix like " (uA)" which we match structurally so
+    // hand-edited files with different spacing still parse.
+    let base = key.split_whitespace().next()?;
+    Param::ALL
+        .into_iter()
+        .find(|p| p.key().split_whitespace().next() == Some(base))
+}
+
+#[derive(Debug)]
+struct PendingCell {
+    name: String,
+    class: Option<MemClass>,
+    year: Option<u16>,
+    access: Option<AccessDevice>,
+    params: Vec<(Param, f64, Provenance)>,
+}
+
+impl PendingCell {
+    fn new(name: String) -> Self {
+        PendingCell {
+            name,
+            class: None,
+            year: None,
+            access: None,
+            params: Vec::new(),
+        }
+    }
+
+    fn finish(self) -> Result<CellParams, CellError> {
+        let class = self.class.ok_or_else(|| CellError::Parse {
+            line: 0,
+            message: format!("cell `{}` has no -MemCellType", self.name),
+        })?;
+        let mut builder = CellParams::builder(self.name, class, self.year.unwrap_or(0));
+        if let Some(access) = self.access {
+            builder = builder.access_device(access);
+        }
+        for (param, value, provenance) in self.params {
+            builder = builder.derived(param, value, provenance);
+        }
+        Ok(builder.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::technologies;
+
+    #[test]
+    fn every_paper_model_round_trips() {
+        for cell in Catalog::paper().iter() {
+            let text = to_string(cell);
+            let back = from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+            assert_eq!(&back, cell, "{}", cell.name());
+        }
+    }
+
+    #[test]
+    fn provenance_survives_round_trip() {
+        let text = to_string(&technologies::chung());
+        let back = from_str(&text).unwrap();
+        assert_eq!(
+            back.provenance(Param::ResetEnergy),
+            Some(Provenance::Electrical)
+        );
+        assert_eq!(
+            back.provenance(Param::ReadVoltage),
+            Some(Provenance::Reported)
+        );
+    }
+
+    #[test]
+    fn bulk_catalog_round_trips() {
+        let catalog = Catalog::paper();
+        let text = catalog_to_string(&catalog);
+        let cells = parse_many(&text).unwrap();
+        assert_eq!(cells.len(), catalog.len());
+        for (parsed, original) in cells.iter().zip(catalog.iter()) {
+            assert_eq!(parsed, original);
+        }
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "-CellName: X\n-MemCellType: RRAM\n-ReadVoltage (V): not_a_number\n";
+        match from_str(text) {
+            Err(CellError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_parameter_before_header() {
+        let text = "-ReadVoltage (V): 0.4\n";
+        assert!(matches!(
+            from_str(text),
+            Err(CellError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_key_and_class() {
+        let unknown_key = "-CellName: X\n-MemCellType: RRAM\n-FluxCapacitance (W): 1\n";
+        assert!(from_str(unknown_key).is_err());
+        let unknown_class = "-CellName: X\n-MemCellType: DRAM\n";
+        assert!(matches!(
+            from_str(unknown_class),
+            Err(CellError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n// a banner\n-CellName: X\n-MemCellType: RRAM\n\n-ReadVoltage (V): 0.2 // reported\n";
+        let cell = from_str(text).unwrap();
+        assert_eq!(cell.read_voltage().unwrap().value(), 0.2);
+    }
+
+    #[test]
+    fn from_str_rejects_multiple_cells() {
+        let text = format!(
+            "{}{}",
+            to_string(&technologies::zhang()),
+            to_string(&technologies::hayakawa())
+        );
+        assert!(from_str(&text).is_err());
+        assert_eq!(parse_many(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn release_directory_round_trips() {
+        let dir = std::env::temp_dir().join("nvm_llc_cell_release_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::paper();
+        write_catalog_dir(&catalog, &dir).unwrap();
+        let back = read_catalog_dir(&dir).unwrap();
+        assert_eq!(back.len(), catalog.len());
+        for cell in catalog.iter() {
+            assert_eq!(back.get(cell.name()).unwrap(), cell);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integer_values_print_without_decimal_point() {
+        assert_eq!(format_value(150.0), "150");
+        assert_eq!(format_value(0.52), "0.52");
+    }
+}

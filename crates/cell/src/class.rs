@@ -1,0 +1,201 @@
+//! Memory technology classes studied by the paper (Section II, Table I).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CellError;
+
+/// A memory technology class.
+///
+/// The paper studies three emerging non-volatile classes — [`Pcram`],
+/// [`Sttram`], [`Rram`] — against an [`Sram`] baseline. Which cell-level
+/// parameters a simulator requires depends on the class (Section III):
+/// PCRAM is specified with currents and a read energy, STTRAM with a read
+/// voltage/power and set/reset currents and energies, RRAM with voltages
+/// throughout.
+///
+/// [`Pcram`]: MemClass::Pcram
+/// [`Sttram`]: MemClass::Sttram
+/// [`Rram`]: MemClass::Rram
+/// [`Sram`]: MemClass::Sram
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::MemClass;
+///
+/// assert!(MemClass::Sttram.is_non_volatile());
+/// assert!(!MemClass::Sram.is_non_volatile());
+/// assert_eq!(MemClass::Rram.subscript(), 'R');
+/// assert_eq!("PCRAM".parse::<MemClass>().unwrap(), MemClass::Pcram);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemClass {
+    /// Static RAM — the baseline LLC technology.
+    Sram,
+    /// Phase Change RAM: heat-driven melt (RESET) / crystallize (SET).
+    Pcram,
+    /// Spin-Torque Transfer RAM: magnetic tunnel junction storage.
+    Sttram,
+    /// (Metal-oxide) Resistive RAM.
+    Rram,
+}
+
+impl MemClass {
+    /// All classes, in the order the paper's tables list them.
+    pub const ALL: [MemClass; 4] = [
+        MemClass::Pcram,
+        MemClass::Sttram,
+        MemClass::Rram,
+        MemClass::Sram,
+    ];
+
+    /// The non-volatile classes only.
+    pub const NVM: [MemClass; 3] = [MemClass::Pcram, MemClass::Sttram, MemClass::Rram];
+
+    /// Whether this class retains data without power.
+    pub fn is_non_volatile(self) -> bool {
+        !matches!(self, MemClass::Sram)
+    }
+
+    /// The single-letter subscript the paper attaches to technology names
+    /// (e.g. `Zhang_R` for an RRAM technology, `Jan_S` for STTRAM).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; SRAM uses `'-'` since the paper never subscripts it.
+    pub fn subscript(self) -> char {
+        match self {
+            MemClass::Sram => '-',
+            MemClass::Pcram => 'P',
+            MemClass::Sttram => 'S',
+            MemClass::Rram => 'R',
+        }
+    }
+
+    /// Write endurance order of magnitude (writes before stuck-at faults),
+    /// from Section II: PCRAM 10⁷–10⁸ (we take the midpoint exponent),
+    /// RRAM 10¹⁰, STTRAM effectively unlimited for LLC lifetimes (10¹⁵ is
+    /// the figure commonly cited for MTJ endurance), SRAM unlimited.
+    pub fn write_endurance(self) -> f64 {
+        match self {
+            MemClass::Sram => f64::INFINITY,
+            MemClass::Pcram => 1e8,
+            MemClass::Sttram => 1e15,
+            MemClass::Rram => 1e10,
+        }
+    }
+}
+
+impl fmt::Display for MemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemClass::Sram => "SRAM",
+            MemClass::Pcram => "PCRAM",
+            MemClass::Sttram => "STTRAM",
+            MemClass::Rram => "RRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for MemClass {
+    type Err = CellError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "SRAM" => Ok(MemClass::Sram),
+            "PCRAM" | "PCM" => Ok(MemClass::Pcram),
+            "STTRAM" | "STT-RAM" | "MRAM" => Ok(MemClass::Sttram),
+            "RRAM" | "RERAM" => Ok(MemClass::Rram),
+            other => Err(CellError::UnknownClass(other.to_owned())),
+        }
+    }
+}
+
+/// The device used to access (select) a cell.
+///
+/// Every technology in Table II is CMOS-accessed; the variant list keeps the
+/// door open for the crossbar RRAMs Section II-C describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum AccessDevice {
+    /// A MOSFET access transistor (1T1R / 1T1MTJ). All Table II entries.
+    #[default]
+    Cmos,
+    /// Bipolar junction transistor access.
+    Bjt,
+    /// Selector-less crossbar (Section II-C's "unique dense crossbar").
+    Crossbar,
+}
+
+impl fmt::Display for AccessDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessDevice::Cmos => "CMOS",
+            AccessDevice::Bjt => "BJT",
+            AccessDevice::Crossbar => "crossbar",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for AccessDevice {
+    type Err = CellError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "CMOS" => Ok(AccessDevice::Cmos),
+            "BJT" => Ok(AccessDevice::Bjt),
+            "CROSSBAR" | "NONE" => Ok(AccessDevice::Crossbar),
+            other => Err(CellError::UnknownAccessDevice(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscripts_match_paper_notation() {
+        assert_eq!(MemClass::Pcram.subscript(), 'P');
+        assert_eq!(MemClass::Sttram.subscript(), 'S');
+        assert_eq!(MemClass::Rram.subscript(), 'R');
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for class in MemClass::ALL {
+            let parsed: MemClass = class.to_string().parse().unwrap();
+            assert_eq!(parsed, class);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_unknown() {
+        assert_eq!("stt-ram".parse::<MemClass>().unwrap(), MemClass::Sttram);
+        assert_eq!("ReRAM".parse::<MemClass>().unwrap(), MemClass::Rram);
+        assert!("DRAM".parse::<MemClass>().is_err());
+    }
+
+    #[test]
+    fn endurance_ordering_matches_section_2() {
+        // PCRAM < RRAM < STTRAM <= SRAM.
+        assert!(MemClass::Pcram.write_endurance() < MemClass::Rram.write_endurance());
+        assert!(MemClass::Rram.write_endurance() < MemClass::Sttram.write_endurance());
+        assert!(MemClass::Sram.write_endurance().is_infinite());
+    }
+
+    #[test]
+    fn nvm_list_excludes_sram() {
+        assert!(MemClass::NVM.iter().all(|c| c.is_non_volatile()));
+    }
+
+    #[test]
+    fn access_device_parse_and_display() {
+        assert_eq!("cmos".parse::<AccessDevice>().unwrap(), AccessDevice::Cmos);
+        assert_eq!(AccessDevice::Cmos.to_string(), "CMOS");
+        assert!("quantum".parse::<AccessDevice>().is_err());
+        assert_eq!(AccessDevice::default(), AccessDevice::Cmos);
+    }
+}

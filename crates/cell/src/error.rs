@@ -1,0 +1,119 @@
+//! Error types for the cell-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::params::Param;
+
+/// Errors produced while building, completing, or parsing cell models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// A class name in input text was not one of SRAM/PCRAM/STTRAM/RRAM.
+    UnknownClass(String),
+    /// An access-device name was not recognized.
+    UnknownAccessDevice(String),
+    /// A parameter required by the class's NVSim-style specification is
+    /// missing and no heuristic could supply it.
+    MissingParam {
+        /// The technology being completed.
+        technology: String,
+        /// The parameter that could not be determined.
+        param: Param,
+    },
+    /// A parameter value is non-physical (negative, NaN, or infinite).
+    NonPhysical {
+        /// The technology being validated.
+        technology: String,
+        /// The offending parameter.
+        param: Param,
+        /// The raw value.
+        value: f64,
+    },
+    /// A parameter does not apply to the technology's class (e.g. a reset
+    /// voltage on a PCRAM cell, which is specified by current).
+    Inapplicable {
+        /// The technology being validated.
+        technology: String,
+        /// The offending parameter.
+        param: Param,
+    },
+    /// Heuristic 2/3 had no same-class donor technology to draw from.
+    NoDonor {
+        /// The technology being completed.
+        technology: String,
+        /// The parameter that needed a donor.
+        param: Param,
+    },
+    /// A `.cell` file line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A technology name was not found in the catalog.
+    UnknownTechnology(String),
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::UnknownClass(s) => write!(f, "unknown memory class `{s}`"),
+            CellError::UnknownAccessDevice(s) => write!(f, "unknown access device `{s}`"),
+            CellError::MissingParam { technology, param } => {
+                write!(f, "`{technology}` is missing required parameter {param}")
+            }
+            CellError::NonPhysical {
+                technology,
+                param,
+                value,
+            } => write!(
+                f,
+                "`{technology}` has non-physical {param} = {value}"
+            ),
+            CellError::Inapplicable { technology, param } => {
+                write!(f, "{param} does not apply to `{technology}`'s class")
+            }
+            CellError::NoDonor { technology, param } => write!(
+                f,
+                "no same-class donor technology supplies {param} for `{technology}`"
+            ),
+            CellError::Parse { line, message } => {
+                write!(f, "cell file parse error at line {line}: {message}")
+            }
+            CellError::UnknownTechnology(s) => write!(f, "unknown technology `{s}`"),
+        }
+    }
+}
+
+impl Error for CellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = CellError::UnknownClass("DRAM".into());
+        let msg = e.to_string();
+        assert!(msg.starts_with("unknown"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CellError>();
+    }
+
+    #[test]
+    fn missing_param_names_technology_and_param() {
+        let e = CellError::MissingParam {
+            technology: "Kang".into(),
+            param: Param::SetCurrent,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Kang"));
+        assert!(msg.contains("set current"));
+    }
+}

@@ -1,0 +1,550 @@
+//! The paper's three modeling heuristics (Section III-A).
+//!
+//! VLSI papers that introduce an NVM cell rarely report every parameter an
+//! architectural simulator needs. The paper's first contribution is a
+//! *consistent* set of strategies for filling those gaps, applied in
+//! decreasing order of preference:
+//!
+//! 1. **Electrical properties** — derive the unknown from knowns via
+//!    equations (1)–(3): `P_read = I_read · V_read`,
+//!    `E_{s/r} = I_{s/r} · V_access · t_{s/r}`, and
+//!    `A[F²] = l·w / s²`. Marked `†` in Table II.
+//! 2. **Interpolation** — fit the trend of the parameter across same-class
+//!    technologies (against process node) and read off the unknown.
+//!    Marked `*`.
+//! 3. **Similarity** — copy the value from the most similar same-class
+//!    technology, where similarity is agreement on the parameters both
+//!    report (the paper's worked example: Kang takes Oh's 200 µA set
+//!    current because their reset currents are identical). Marked `*`.
+//!
+//! [`HeuristicEngine::complete`] applies these strategies to every missing
+//! NVSim-required parameter of a cell and records per-parameter
+//! [`Provenance`].
+
+use crate::class::MemClass;
+use crate::error::CellError;
+use crate::params::{CellParams, Param, Provenance};
+use crate::units::{Nanometers, SquareMillimeters, Volts};
+
+/// Derives a cell size in F² from physical cell dimensions — the paper's
+/// equation (3): `A[F²] = (l_cell · w_cell) / s_proc²`.
+///
+/// `length`/`width` are in nanometers.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::heuristics::cell_size_from_dimensions;
+/// use nvm_llc_cell::units::Nanometers;
+///
+/// // Umeki's 48 F² at 65 nm corresponds to a ~0.45 µm × 0.45 µm cell.
+/// let f2 = cell_size_from_dimensions(450.4, 450.4, Nanometers::new(65.0));
+/// assert!((f2.value() - 48.0).abs() < 0.1);
+/// ```
+pub fn cell_size_from_dimensions(
+    length: f64,
+    width: f64,
+    process: Nanometers,
+) -> crate::units::FeatureSquared {
+    let s = process.value();
+    crate::units::FeatureSquared::new(length * width / (s * s))
+}
+
+/// Converts a cell size in F² to physical area at a process node — the
+/// inverse direction of equation (3), used by the circuit model.
+pub fn physical_cell_area(cell: &CellParams) -> Option<SquareMillimeters> {
+    Some(cell.cell_size()?.physical_area(cell.process()?))
+}
+
+/// A record of one heuristic application, for audit trails and the
+/// Table II marker column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// The parameter that was filled in.
+    pub param: Param,
+    /// The value chosen.
+    pub value: f64,
+    /// Which heuristic supplied it.
+    pub provenance: Provenance,
+    /// Donor technology name, for heuristics 2/3.
+    pub donor: Option<String>,
+}
+
+/// Applies the paper's modeling heuristics to incomplete cell models.
+///
+/// The engine is constructed over a set of *donor* technologies (typically
+/// [`crate::technologies::all_nvms`], or the reported-only forms when
+/// reproducing the paper's own derivation process) and completes any cell
+/// against the same-class donors.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::heuristics::HeuristicEngine;
+/// use nvm_llc_cell::technologies;
+///
+/// let engine = HeuristicEngine::new(technologies::all_nvms_reported());
+/// let (kang, log) = engine.complete(technologies::kang_reported())?;
+/// assert!(kang.validate().is_ok());
+/// assert!(!log.is_empty());
+/// # Ok::<(), nvm_llc_cell::CellError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeuristicEngine {
+    donors: Vec<CellParams>,
+    access_voltage_override: Option<Volts>,
+}
+
+impl HeuristicEngine {
+    /// Builds an engine over the given donor technologies.
+    pub fn new(donors: impl IntoIterator<Item = CellParams>) -> Self {
+        HeuristicEngine {
+            donors: donors.into_iter().collect(),
+            access_voltage_override: None,
+        }
+    }
+
+    /// Overrides the access voltage used by equation (2) when a cell does
+    /// not report a read voltage (defaults to the class supply voltage).
+    pub fn with_access_voltage(mut self, voltage: Volts) -> Self {
+        self.access_voltage_override = Some(voltage);
+        self
+    }
+
+    /// The donor set.
+    pub fn donors(&self) -> &[CellParams] {
+        &self.donors
+    }
+
+    /// Completes every NVSim-required parameter of `cell`, trying
+    /// heuristic 1, then 2, then 3 for each gap.
+    ///
+    /// Returns the completed cell and the derivation log.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::NoDonor`] if a parameter cannot be derived electrically
+    /// and no same-class donor reports it.
+    pub fn complete(&self, cell: CellParams) -> Result<(CellParams, Vec<Derivation>), CellError> {
+        let mut cell = cell;
+        let mut log = Vec::new();
+        // Iterate to a fixed point: an electrical derivation may unlock
+        // another (e.g. read power requires a derived read current).
+        loop {
+            let missing = cell.missing_params();
+            if missing.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for param in &missing {
+                if let Some(d) = self.try_heuristics(&cell, *param) {
+                    cell.set(d.param, d.value, d.provenance);
+                    log.push(d);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                let param = missing[0];
+                return Err(CellError::NoDonor {
+                    technology: cell.name().to_owned(),
+                    param,
+                });
+            }
+        }
+        Ok((cell, log))
+    }
+
+    /// Preference order: heuristic 1 (electrical); heuristic 3 *when a
+    /// donor matches exactly* on a shared operating parameter (the paper's
+    /// Kang/Oh worked example — identical reset currents trump any trend
+    /// fit); heuristic 2 (interpolation); heuristic 3 in its general form;
+    /// and finally class-level literature defaults.
+    fn try_heuristics(&self, cell: &CellParams, param: Param) -> Option<Derivation> {
+        self.electrical(cell, param)
+            .or_else(|| self.similarity(cell, param, SimilarityMode::ExactMatchOnly))
+            .or_else(|| self.interpolate(cell, param))
+            .or_else(|| self.similarity(cell, param, SimilarityMode::Nearest))
+            .or_else(|| class_default(cell.class(), param))
+    }
+
+    /// The access voltage `V_access` used in equation (2).
+    fn access_voltage(&self, cell: &CellParams) -> Volts {
+        if let Some(v) = self.access_voltage_override {
+            return v;
+        }
+        cell.read_voltage().unwrap_or_else(|| {
+            // Class supply-voltage defaults at the relevant nodes.
+            Volts::new(match cell.class() {
+                MemClass::Pcram => 1.8,
+                MemClass::Sttram => 1.0,
+                MemClass::Rram => 1.0,
+                MemClass::Sram => 1.0,
+            })
+        })
+    }
+
+    /// Heuristic 1 — equations (1) and (2), in both directions.
+    fn electrical(&self, cell: &CellParams, param: Param) -> Option<Derivation> {
+        let v_access = self.access_voltage(cell).value();
+        let value = match param {
+            // Equation (1): P_read = I_read * V_read (and inversions).
+            Param::ReadPower => {
+                let i = cell.read_current()?.value();
+                let v = cell.read_voltage()?.value();
+                i * v
+            }
+            Param::ReadCurrent => {
+                let p = cell.read_power()?.value();
+                let v = cell.read_voltage()?.value();
+                if v == 0.0 {
+                    return None;
+                }
+                p / v
+            }
+            Param::ReadVoltage => {
+                let p = cell.read_power()?.value();
+                let i = cell.read_current()?.value();
+                if i == 0.0 {
+                    return None;
+                }
+                p / i
+            }
+            // Equation (2): E = I * V_access * t, in fC·V = fJ -> pJ.
+            Param::SetEnergy => {
+                let i = cell.set_current()?.value();
+                let t = cell.set_pulse()?.value();
+                i * v_access * t * 1e-3
+            }
+            Param::ResetEnergy => {
+                let i = cell.reset_current()?.value();
+                let t = cell.reset_pulse()?.value();
+                i * v_access * t * 1e-3
+            }
+            Param::SetCurrent => {
+                let e = cell.set_energy()?.value();
+                let t = cell.set_pulse()?.value();
+                if t == 0.0 || v_access == 0.0 {
+                    return None;
+                }
+                e / (v_access * t) * 1e3
+            }
+            Param::ResetCurrent => {
+                let e = cell.reset_energy()?.value();
+                let t = cell.reset_pulse()?.value();
+                if t == 0.0 || v_access == 0.0 {
+                    return None;
+                }
+                e / (v_access * t) * 1e3
+            }
+            _ => return None,
+        };
+        if !value.is_finite() || value < 0.0 {
+            return None;
+        }
+        Some(Derivation {
+            param,
+            value,
+            provenance: Provenance::Electrical,
+            donor: None,
+        })
+    }
+
+    /// Same-class donors that report `param` (excluding the cell itself).
+    fn reporting_donors(&self, cell: &CellParams, param: Param) -> Vec<&CellParams> {
+        self.donors
+            .iter()
+            .filter(|d| {
+                d.class() == cell.class()
+                    && d.name() != cell.name()
+                    && d.get(param).is_some()
+            })
+            .collect()
+    }
+
+    /// Heuristic 2 — linear interpolation of the parameter against process
+    /// node across same-class donors. Needs at least two donors with
+    /// distinct process nodes and the target's own process node; with a
+    /// single donor this degenerates to heuristic 3 and is left to it.
+    fn interpolate(&self, cell: &CellParams, param: Param) -> Option<Derivation> {
+        let target = cell.process()?.value();
+        let points: Vec<(f64, f64, &str)> = self
+            .reporting_donors(cell, param)
+            .into_iter()
+            .filter_map(|d| Some((d.process()?.value(), d.get(param)?, d.name())))
+            .collect();
+        if points.len() < 2 {
+            return None;
+        }
+        // Least-squares line over (process, value).
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            // All donors sit at one node: no trend; defer to similarity.
+            return None;
+        }
+        let sxy: f64 = points
+            .iter()
+            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let value = mean_y + slope * (target - mean_x);
+        if !value.is_finite() || value <= 0.0 {
+            return None;
+        }
+        let donor = points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - target)
+                    .abs()
+                    .partial_cmp(&(b.0 - target).abs())
+                    .expect("finite process nodes")
+            })
+            .map(|p| p.2.to_owned());
+        Some(Derivation {
+            param,
+            value,
+            provenance: Provenance::Interpolated,
+            donor,
+        })
+    }
+
+    /// Heuristic 3 — copy from the most similar same-class donor.
+    ///
+    /// Similarity is the mean relative difference over the parameters both
+    /// technologies report (lower is more similar). In
+    /// [`SimilarityMode::ExactMatchOnly`] a donor is only eligible when it
+    /// agrees *exactly* with the target on some shared operating parameter —
+    /// the paper's Kang/Oh example, where an identical 600 µA reset current
+    /// justifies copying Oh's set current.
+    fn similarity(
+        &self,
+        cell: &CellParams,
+        param: Param,
+        mode: SimilarityMode,
+    ) -> Option<Derivation> {
+        let candidates: Vec<_> = self
+            .reporting_donors(cell, param)
+            .into_iter()
+            .filter(|d| mode == SimilarityMode::Nearest || has_exact_shared_param(cell, d))
+            .collect();
+        let best = candidates.into_iter().min_by(|a, b| {
+            similarity_distance(cell, a)
+                .partial_cmp(&similarity_distance(cell, b))
+                .expect("finite distances")
+        })?;
+        Some(Derivation {
+            param,
+            value: best.get(param).expect("donor reports param"),
+            provenance: Provenance::Similarity,
+            donor: Some(best.name().to_owned()),
+        })
+    }
+}
+
+/// How [`HeuristicEngine`] selects a similarity donor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimilarityMode {
+    /// Only donors agreeing exactly on a shared operating parameter.
+    ExactMatchOnly,
+    /// Any donor; the closest by mean relative difference wins.
+    Nearest,
+}
+
+/// Whether `a` and `b` report an identical value for any shared operating
+/// (non-structural) parameter.
+fn has_exact_shared_param(a: &CellParams, b: &CellParams) -> bool {
+    Param::ALL.iter().any(|&param| {
+        if matches!(param, Param::Process | Param::CellLevels | Param::CellSize) {
+            return false;
+        }
+        match (a.get(param), b.get(param)) {
+            (Some(x), Some(y)) => {
+                let denom = x.abs().max(y.abs());
+                denom > 0.0 && (x - y).abs() / denom < 1e-9
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Last-resort literature defaults for parameters that *no* technology in
+/// a class reports (the oldest technology in a class has no older donor to
+/// draw from — the paper faced exactly this for Oh's read current and read
+/// energy, whose 40 µA / 2 pJ figures are the PCRAM-literature norms).
+///
+/// Tagged [`Provenance::Interpolated`] since they summarize a trend across
+/// the external literature rather than copying a single donor.
+fn class_default(class: MemClass, param: Param) -> Option<Derivation> {
+    let value = match (class, param) {
+        (MemClass::Pcram, Param::ReadCurrent) => 40.0,
+        (MemClass::Pcram, Param::ReadEnergy) => 2.0,
+        (MemClass::Sttram, Param::ReadVoltage) => 0.65,
+        (MemClass::Rram, Param::ReadVoltage) => 0.4,
+        // Metal-oxide RRAM's hallmark density (Section II-C): the 4 F²
+        // crossbar-class cell both Table II RRAMs are assigned.
+        (MemClass::Rram, Param::CellSize) => 4.0,
+        _ => return None,
+    };
+    Some(Derivation {
+        param,
+        value,
+        provenance: Provenance::Interpolated,
+        donor: None,
+    })
+}
+
+/// Mean relative difference over shared parameters; +∞ when nothing is
+/// shared (the donor can still be used, but only as a last resort).
+fn similarity_distance(a: &CellParams, b: &CellParams) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for param in Param::ALL {
+        // Process/levels are structural, not operating characteristics.
+        if matches!(param, Param::Process | Param::CellLevels) {
+            continue;
+        }
+        if let (Some(x), Some(y)) = (a.get(param), b.get(param)) {
+            let denom = x.abs().max(y.abs());
+            if denom > 0.0 {
+                total += (x - y).abs() / denom;
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technologies;
+    use crate::units::*;
+
+    fn engine() -> HeuristicEngine {
+        HeuristicEngine::new(technologies::all_nvms_reported())
+    }
+
+    #[test]
+    fn completes_every_reported_nvm() {
+        let engine = engine();
+        for cell in technologies::all_nvms_reported() {
+            let name = cell.name().to_owned();
+            let (done, _) = engine
+                .complete(cell)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(done.validate().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn xue_needs_no_derivations() {
+        let (done, log) = engine().complete(technologies::xue_reported()).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(done, technologies::xue());
+    }
+
+    #[test]
+    fn chung_reset_energy_matches_table_2_dagger() {
+        // 80 µA × 0.65 V × 10 ns = 0.52 pJ, heuristic 1.
+        let (done, log) = engine().complete(technologies::chung_reported()).unwrap();
+        let e = done.reset_energy().unwrap().value();
+        assert!((e - 0.52).abs() < 1e-9, "got {e}");
+        let d = log.iter().find(|d| d.param == Param::ResetEnergy).unwrap();
+        assert_eq!(d.provenance, Provenance::Electrical);
+    }
+
+    #[test]
+    fn umeki_reset_current_derived_electrically_near_table_2() {
+        // Table II lists 255 µA †. With V_access = read voltage (0.38 V):
+        // I = 1.12 pJ / (0.38 V · 10 ns) ≈ 295 µA — same order, same
+        // heuristic; the paper evidently used a slightly higher V_access.
+        let (done, log) = engine().complete(technologies::umeki_reported()).unwrap();
+        let i = done.reset_current().unwrap().value();
+        assert!((150.0..=400.0).contains(&i), "got {i}");
+        let d = log.iter().find(|d| d.param == Param::ResetCurrent).unwrap();
+        assert_eq!(d.provenance, Provenance::Electrical);
+    }
+
+    #[test]
+    fn kang_set_current_comes_from_oh_by_similarity() {
+        // The paper's worked example for heuristic 3.
+        let (done, log) = engine().complete(technologies::kang_reported()).unwrap();
+        assert_eq!(done.set_current().unwrap().value(), 200.0);
+        let d = log.iter().find(|d| d.param == Param::SetCurrent).unwrap();
+        assert_eq!(d.provenance, Provenance::Similarity);
+        assert_eq!(d.donor.as_deref(), Some("Oh"));
+    }
+
+    #[test]
+    fn chung_read_power_uses_equation_1_after_current_known() {
+        // Chung reports neither read power nor read current; the engine
+        // derives the current from reset-energy electricals is impossible,
+        // so read current falls to interpolation/similarity and power then
+        // follows by equation (1) or the same donor. Either way the cell
+        // completes and the provenance is recorded.
+        let (done, log) = engine().complete(technologies::chung_reported()).unwrap();
+        assert!(done.read_power().is_some());
+        assert!(log.iter().any(|d| d.param == Param::ReadPower));
+    }
+
+    #[test]
+    fn fails_cleanly_without_donors() {
+        let lone = HeuristicEngine::new(vec![]);
+        let err = lone
+            .complete(technologies::hayakawa_reported())
+            .unwrap_err();
+        assert!(matches!(err, CellError::NoDonor { .. }));
+    }
+
+    #[test]
+    fn access_voltage_override_changes_equation_2() {
+        let eng = engine().with_access_voltage(Volts::new(2.0));
+        let (done, _) = eng.complete(technologies::chung_reported()).unwrap();
+        // 80 µA × 2.0 V × 10 ns = 1.6 pJ.
+        assert!((done.reset_energy().unwrap().value() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_3_round_trips() {
+        let f2 = cell_size_from_dimensions(300.0, 280.0, Nanometers::new(65.0));
+        assert!((f2.value() - 300.0 * 280.0 / (65.0 * 65.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physical_cell_area_uses_process_node() {
+        let cell = technologies::zhang();
+        let a = physical_cell_area(&cell).unwrap();
+        // 4 F² at 22 nm.
+        assert!((a.value() - 4.0 * (22e-6f64).powi(2)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn similarity_distance_zero_for_identical_cells() {
+        let a = technologies::xue();
+        assert_eq!(similarity_distance(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn similarity_distance_infinite_without_shared_params() {
+        let bare = crate::params::CellParams::builder("Bare", MemClass::Rram, 2020).build();
+        let full = technologies::zhang();
+        assert!(similarity_distance(&bare, &full).is_infinite());
+    }
+
+    #[test]
+    fn derivation_log_is_auditable() {
+        let (_, log) = engine().complete(technologies::kang_reported()).unwrap();
+        for d in &log {
+            assert!(d.value.is_finite() && d.value > 0.0);
+            if d.provenance == Provenance::Similarity {
+                assert!(d.donor.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,875 @@
+//! Cell-level parameter sets (the rows of the paper's Table II).
+//!
+//! A [`CellParams`] value holds everything an NVSim-style simulator needs to
+//! model one memory technology, with per-parameter [`Provenance`] recording
+//! whether a value was reported in the original VLSI paper or derived by one
+//! of the paper's three modeling heuristics (Section III-A).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::class::{AccessDevice, MemClass};
+use crate::error::CellError;
+use crate::units::{
+    FeatureSquared, Microamps, Microwatts, Nanometers, Nanoseconds, Picojoules, Volts,
+};
+
+/// Identifies one cell-level parameter (one row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Param {
+    /// Lithography process node.
+    Process,
+    /// Cell area in F².
+    CellSize,
+    /// Storage levels per cell (1 = SLC, 2 = MLC).
+    CellLevels,
+    /// Read current (PCRAM specification).
+    ReadCurrent,
+    /// Read voltage (STTRAM / RRAM specification).
+    ReadVoltage,
+    /// Read power (STTRAM / RRAM specification).
+    ReadPower,
+    /// Read energy (PCRAM specification).
+    ReadEnergy,
+    /// RESET current (PCRAM / STTRAM).
+    ResetCurrent,
+    /// RESET voltage (RRAM).
+    ResetVoltage,
+    /// RESET pulse width.
+    ResetPulse,
+    /// RESET energy (STTRAM / RRAM).
+    ResetEnergy,
+    /// SET current (PCRAM / STTRAM).
+    SetCurrent,
+    /// SET voltage (RRAM).
+    SetVoltage,
+    /// SET pulse width.
+    SetPulse,
+    /// SET energy (STTRAM / RRAM).
+    SetEnergy,
+}
+
+impl Param {
+    /// All parameters in Table II row order.
+    pub const ALL: [Param; 15] = [
+        Param::Process,
+        Param::CellSize,
+        Param::CellLevels,
+        Param::ReadCurrent,
+        Param::ReadVoltage,
+        Param::ReadPower,
+        Param::ReadEnergy,
+        Param::ResetCurrent,
+        Param::ResetVoltage,
+        Param::ResetPulse,
+        Param::ResetEnergy,
+        Param::SetCurrent,
+        Param::SetVoltage,
+        Param::SetPulse,
+        Param::SetEnergy,
+    ];
+
+    /// Whether this parameter applies to cells of `class`, per the
+    /// greyed-out cells of Table II: PCRAM is specified by currents plus a
+    /// read energy; STTRAM by read voltage/power plus write currents and
+    /// energies; RRAM by voltages plus write energies.
+    pub fn applies_to(self, class: MemClass) -> bool {
+        use MemClass::*;
+        use Param::*;
+        match self {
+            Process | CellSize | CellLevels => true,
+            ReadCurrent | ReadEnergy => matches!(class, Pcram | Sram),
+            ReadVoltage | ReadPower => matches!(class, Sttram | Rram | Sram),
+            ResetCurrent | SetCurrent => matches!(class, Pcram | Sttram),
+            ResetVoltage | SetVoltage => matches!(class, Rram),
+            ResetPulse | SetPulse => class.is_non_volatile(),
+            ResetEnergy | SetEnergy => matches!(class, Sttram | Rram),
+        }
+    }
+
+    /// The parameters NVSim requires to specify a cell of `class`
+    /// (Section III's per-class lists).
+    pub fn required_for(class: MemClass) -> Vec<Param> {
+        use Param::*;
+        let mut v = vec![Process, CellSize];
+        match class {
+            MemClass::Pcram => v.extend([
+                ReadCurrent,
+                ReadEnergy,
+                ResetCurrent,
+                ResetPulse,
+                SetCurrent,
+                SetPulse,
+            ]),
+            MemClass::Sttram => v.extend([
+                ReadVoltage,
+                ReadPower,
+                ResetCurrent,
+                ResetPulse,
+                ResetEnergy,
+                SetCurrent,
+                SetPulse,
+                SetEnergy,
+            ]),
+            MemClass::Rram => v.extend([
+                ReadVoltage,
+                ReadPower,
+                ResetVoltage,
+                ResetPulse,
+                ResetEnergy,
+                SetVoltage,
+                SetPulse,
+                SetEnergy,
+            ]),
+            MemClass::Sram => {}
+        }
+        v
+    }
+
+    /// The `.cell`-file key for this parameter (see [`crate::cellfile`]).
+    pub fn key(self) -> &'static str {
+        use Param::*;
+        match self {
+            Process => "-ProcessNode",
+            CellSize => "-CellArea (F^2)",
+            CellLevels => "-CellLevels",
+            ReadCurrent => "-ReadCurrent (uA)",
+            ReadVoltage => "-ReadVoltage (V)",
+            ReadPower => "-ReadPower (uW)",
+            ReadEnergy => "-ReadEnergy (pJ)",
+            ResetCurrent => "-ResetCurrent (uA)",
+            ResetVoltage => "-ResetVoltage (V)",
+            ResetPulse => "-ResetPulse (ns)",
+            ResetEnergy => "-ResetEnergy (pJ)",
+            SetCurrent => "-SetCurrent (uA)",
+            SetVoltage => "-SetVoltage (V)",
+            SetPulse => "-SetPulse (ns)",
+            SetEnergy => "-SetEnergy (pJ)",
+        }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Param::*;
+        let s = match self {
+            Process => "process node",
+            CellSize => "cell size",
+            CellLevels => "cell levels",
+            ReadCurrent => "read current",
+            ReadVoltage => "read voltage",
+            ReadPower => "read power",
+            ReadEnergy => "read energy",
+            ResetCurrent => "reset current",
+            ResetVoltage => "reset voltage",
+            ResetPulse => "reset pulse",
+            ResetEnergy => "reset energy",
+            SetCurrent => "set current",
+            SetVoltage => "set voltage",
+            SetPulse => "set pulse",
+            SetEnergy => "set energy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a parameter value was obtained (Section III-A).
+///
+/// Ordered from most to least trustworthy: values straight out of the cited
+/// VLSI paper, then the three heuristics in the paper's stated preference
+/// order (electrical properties, interpolation, similarity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Provenance {
+    /// Reported directly in the cited VLSI paper.
+    #[default]
+    Reported,
+    /// Heuristic 1 — derived from known parameters via the electrical
+    /// relations, equations (1)–(3). Marked `†` in Table II.
+    Electrical,
+    /// Heuristic 2 — interpolated from trends across same-class
+    /// technologies. Marked `*` in Table II.
+    Interpolated,
+    /// Heuristic 3 — copied from a similar same-class technology.
+    /// Marked `*` in Table II.
+    Similarity,
+}
+
+impl Provenance {
+    /// The marker Table II prints next to values of this provenance.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Provenance::Reported => "",
+            Provenance::Electrical => "†",
+            Provenance::Interpolated | Provenance::Similarity => "*",
+        }
+    }
+
+    /// Whether the value came from a heuristic rather than the literature.
+    pub fn is_derived(self) -> bool {
+        self != Provenance::Reported
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Provenance::Reported => "reported",
+            Provenance::Electrical => "electrical (heuristic 1)",
+            Provenance::Interpolated => "interpolated (heuristic 2)",
+            Provenance::Similarity => "similarity (heuristic 3)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete or partially-specified cell model: one column of Table II.
+///
+/// Build one with [`CellParams::builder`]; fill gaps with
+/// [`crate::heuristics::HeuristicEngine`]; validate NVSim-readiness with
+/// [`CellParams::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::{CellParams, MemClass};
+/// use nvm_llc_cell::units::*;
+///
+/// let cell = CellParams::builder("Demo", MemClass::Sttram, 2020)
+///     .process(Nanometers::new(45.0))
+///     .cell_size(FeatureSquared::new(20.0))
+///     .read_voltage(Volts::new(0.4))
+///     .read_power(Microwatts::new(10.0))
+///     .reset_current(Microamps::new(100.0))
+///     .reset_pulse(Nanoseconds::new(5.0))
+///     .reset_energy(Picojoules::new(0.5))
+///     .set_current(Microamps::new(100.0))
+///     .set_pulse(Nanoseconds::new(5.0))
+///     .set_energy(Picojoules::new(0.5))
+///     .build();
+/// assert!(cell.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellParams {
+    name: String,
+    class: MemClass,
+    year: u16,
+    access_device: AccessDevice,
+    process: Option<Nanometers>,
+    cell_size: Option<FeatureSquared>,
+    cell_levels: u8,
+    read_current: Option<Microamps>,
+    read_voltage: Option<Volts>,
+    read_power: Option<Microwatts>,
+    read_energy: Option<Picojoules>,
+    reset_current: Option<Microamps>,
+    reset_voltage: Option<Volts>,
+    reset_pulse: Option<Nanoseconds>,
+    reset_energy: Option<Picojoules>,
+    set_current: Option<Microamps>,
+    set_voltage: Option<Volts>,
+    set_pulse: Option<Nanoseconds>,
+    set_energy: Option<Picojoules>,
+    provenance: BTreeMap<Param, Provenance>,
+}
+
+impl CellParams {
+    /// Starts building a cell model for `name` of `class`, published in
+    /// `year`.
+    pub fn builder(name: impl Into<String>, class: MemClass, year: u16) -> CellParamsBuilder {
+        CellParamsBuilder {
+            inner: CellParams {
+                name: name.into(),
+                class,
+                year,
+                access_device: AccessDevice::Cmos,
+                process: None,
+                cell_size: None,
+                cell_levels: 1,
+                read_current: None,
+                read_voltage: None,
+                read_power: None,
+                read_energy: None,
+                reset_current: None,
+                reset_voltage: None,
+                reset_pulse: None,
+                reset_energy: None,
+                set_current: None,
+                set_voltage: None,
+                set_pulse: None,
+                set_energy: None,
+                // `cell_levels` always has a value (default 1 = SLC), so
+                // its provenance is recorded from the start.
+                provenance: BTreeMap::from([(Param::CellLevels, Provenance::Reported)]),
+            },
+        }
+    }
+
+    /// The citation name ("Oh", "Chung", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The paper's display name: citation name plus class subscript, e.g.
+    /// `Zhang_R`.
+    pub fn display_name(&self) -> String {
+        if self.class == MemClass::Sram {
+            self.name.clone()
+        } else {
+            format!("{}_{}", self.name, self.class.subscript())
+        }
+    }
+
+    /// Memory technology class.
+    pub fn class(&self) -> MemClass {
+        self.class
+    }
+
+    /// Publication year of the cited VLSI paper.
+    pub fn year(&self) -> u16 {
+        self.year
+    }
+
+    /// Access device (always CMOS in Table II).
+    pub fn access_device(&self) -> AccessDevice {
+        self.access_device
+    }
+
+    /// Process node, if specified.
+    pub fn process(&self) -> Option<Nanometers> {
+        self.process
+    }
+
+    /// Cell area in F², if specified.
+    pub fn cell_size(&self) -> Option<FeatureSquared> {
+        self.cell_size
+    }
+
+    /// Storage levels per cell (1 = SLC, 2 = MLC).
+    pub fn cell_levels(&self) -> u8 {
+        self.cell_levels
+    }
+
+    /// Read current, if specified (PCRAM).
+    pub fn read_current(&self) -> Option<Microamps> {
+        self.read_current
+    }
+
+    /// Read voltage, if specified (STTRAM/RRAM).
+    pub fn read_voltage(&self) -> Option<Volts> {
+        self.read_voltage
+    }
+
+    /// Read power, if specified (STTRAM/RRAM).
+    pub fn read_power(&self) -> Option<Microwatts> {
+        self.read_power
+    }
+
+    /// Read energy, if specified (PCRAM).
+    pub fn read_energy(&self) -> Option<Picojoules> {
+        self.read_energy
+    }
+
+    /// RESET current, if specified (PCRAM/STTRAM).
+    pub fn reset_current(&self) -> Option<Microamps> {
+        self.reset_current
+    }
+
+    /// RESET voltage, if specified (RRAM).
+    pub fn reset_voltage(&self) -> Option<Volts> {
+        self.reset_voltage
+    }
+
+    /// RESET pulse width, if specified.
+    pub fn reset_pulse(&self) -> Option<Nanoseconds> {
+        self.reset_pulse
+    }
+
+    /// RESET energy, if specified (STTRAM/RRAM).
+    pub fn reset_energy(&self) -> Option<Picojoules> {
+        self.reset_energy
+    }
+
+    /// SET current, if specified (PCRAM/STTRAM).
+    pub fn set_current(&self) -> Option<Microamps> {
+        self.set_current
+    }
+
+    /// SET voltage, if specified (RRAM).
+    pub fn set_voltage(&self) -> Option<Volts> {
+        self.set_voltage
+    }
+
+    /// SET pulse width, if specified.
+    pub fn set_pulse(&self) -> Option<Nanoseconds> {
+        self.set_pulse
+    }
+
+    /// SET energy, if specified (STTRAM/RRAM).
+    pub fn set_energy(&self) -> Option<Picojoules> {
+        self.set_energy
+    }
+
+    /// The recorded provenance for `param`, if the parameter has a value.
+    pub fn provenance(&self, param: Param) -> Option<Provenance> {
+        if self.get(param).is_some() {
+            Some(self.provenance.get(&param).copied().unwrap_or_default())
+        } else {
+            None
+        }
+    }
+
+    /// Raw numeric value of `param`, unit-erased — convenient for table
+    /// rendering and interpolation. `None` if unset.
+    pub fn get(&self, param: Param) -> Option<f64> {
+        use Param::*;
+        match param {
+            Process => self.process.map(|v| v.value()),
+            CellSize => self.cell_size.map(|v| v.value()),
+            CellLevels => Some(f64::from(self.cell_levels)),
+            ReadCurrent => self.read_current.map(|v| v.value()),
+            ReadVoltage => self.read_voltage.map(|v| v.value()),
+            ReadPower => self.read_power.map(|v| v.value()),
+            ReadEnergy => self.read_energy.map(|v| v.value()),
+            ResetCurrent => self.reset_current.map(|v| v.value()),
+            ResetVoltage => self.reset_voltage.map(|v| v.value()),
+            ResetPulse => self.reset_pulse.map(|v| v.value()),
+            ResetEnergy => self.reset_energy.map(|v| v.value()),
+            SetCurrent => self.set_current.map(|v| v.value()),
+            SetVoltage => self.set_voltage.map(|v| v.value()),
+            SetPulse => self.set_pulse.map(|v| v.value()),
+            SetEnergy => self.set_energy.map(|v| v.value()),
+        }
+    }
+
+    /// Sets `param` to a raw value with the given provenance. Used by the
+    /// heuristic engine and the `.cell` parser.
+    pub(crate) fn set(&mut self, param: Param, value: f64, provenance: Provenance) {
+        use Param::*;
+        match param {
+            Process => self.process = Some(Nanometers::new(value)),
+            CellSize => self.cell_size = Some(FeatureSquared::new(value)),
+            CellLevels => self.cell_levels = value as u8,
+            ReadCurrent => self.read_current = Some(Microamps::new(value)),
+            ReadVoltage => self.read_voltage = Some(Volts::new(value)),
+            ReadPower => self.read_power = Some(Microwatts::new(value)),
+            ReadEnergy => self.read_energy = Some(Picojoules::new(value)),
+            ResetCurrent => self.reset_current = Some(Microamps::new(value)),
+            ResetVoltage => self.reset_voltage = Some(Volts::new(value)),
+            ResetPulse => self.reset_pulse = Some(Nanoseconds::new(value)),
+            ResetEnergy => self.reset_energy = Some(Picojoules::new(value)),
+            SetCurrent => self.set_current = Some(Microamps::new(value)),
+            SetVoltage => self.set_voltage = Some(Volts::new(value)),
+            SetPulse => self.set_pulse = Some(Nanoseconds::new(value)),
+            SetEnergy => self.set_energy = Some(Picojoules::new(value)),
+        }
+        self.provenance.insert(param, provenance);
+    }
+
+    /// The parameters required by this cell's class that are still missing.
+    pub fn missing_params(&self) -> Vec<Param> {
+        Param::required_for(self.class)
+            .into_iter()
+            .filter(|p| self.get(*p).is_none())
+            .collect()
+    }
+
+    /// Counts parameters whose value was heuristically derived.
+    pub fn derived_count(&self) -> usize {
+        Param::ALL
+            .iter()
+            .filter(|p| self.provenance(**p).is_some_and(Provenance::is_derived))
+            .count()
+    }
+
+    /// Checks that the model is complete for its class (all NVSim-required
+    /// parameters present), physical (finite, non-negative), and contains no
+    /// parameter inapplicable to the class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::MissingParam`], [`CellError::NonPhysical`], or
+    /// [`CellError::Inapplicable`] naming the first offending parameter.
+    pub fn validate(&self) -> Result<(), CellError> {
+        for param in Param::required_for(self.class) {
+            if self.get(param).is_none() {
+                return Err(CellError::MissingParam {
+                    technology: self.name.clone(),
+                    param,
+                });
+            }
+        }
+        for param in Param::ALL {
+            if let Some(value) = self.get(param) {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(CellError::NonPhysical {
+                        technology: self.name.clone(),
+                        param,
+                        value,
+                    });
+                }
+                if !param.applies_to(self.class) {
+                    return Err(CellError::Inapplicable {
+                        technology: self.name.clone(),
+                        param,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective per-bit cell area in F²: MLC cells store `cell_levels`
+    /// bits' worth of states in one footprint, so density scales by the
+    /// level count (Section II-D).
+    ///
+    /// Returns `None` when the cell size is unspecified.
+    pub fn area_per_bit(&self) -> Option<FeatureSquared> {
+        self.cell_size
+            .map(|a| FeatureSquared::new(a.value() / f64::from(self.cell_levels)))
+    }
+
+    /// Write energy of the worst-case transition, in picojoules: the max of
+    /// SET and RESET energies where known, deriving PCRAM energies from
+    /// `I · V · t` with the supplied access voltage when only currents are
+    /// reported.
+    pub fn worst_write_energy(&self, access_voltage: Volts) -> Option<Picojoules> {
+        let set = self.set_energy.or_else(|| {
+            Some(self.set_current? * self.set_pulse? * access_voltage)
+        });
+        let reset = self.reset_energy.or_else(|| {
+            Some(self.reset_current? * self.reset_pulse? * access_voltage)
+        });
+        match (set, reset) {
+            (Some(s), Some(r)) => Some(s.max(r)),
+            (Some(s), None) => Some(s),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+
+    /// Write latency of the slower transition (max of SET/RESET pulses).
+    pub fn worst_write_pulse(&self) -> Option<Nanoseconds> {
+        match (self.set_pulse, self.reset_pulse) {
+            (Some(s), Some(r)) => Some(s.max(r)),
+            (Some(s), None) => Some(s),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+}
+
+impl fmt::Display for CellParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}, {} nm)",
+            self.display_name(),
+            self.class,
+            self.year,
+            self.process.map_or(f64::NAN, |p| p.value())
+        )
+    }
+}
+
+/// Builder for [`CellParams`] (see C-BUILDER).
+///
+/// Every setter records [`Provenance::Reported`]; use the
+/// `*_derived` variants to record a heuristic provenance explicitly when
+/// transcribing Table II's starred values.
+#[derive(Debug, Clone)]
+pub struct CellParamsBuilder {
+    inner: CellParams,
+}
+
+macro_rules! builder_setter {
+    ($(#[$meta:meta])* $fn_name:ident, $param:expr, $ty:ty) => {
+        $(#[$meta])*
+        pub fn $fn_name(mut self, value: $ty) -> Self {
+            self.inner.set($param, value.value(), Provenance::Reported);
+            self
+        }
+    };
+}
+
+impl CellParamsBuilder {
+    /// Re-opens an existing parameter set for further additions, keeping
+    /// all recorded provenance.
+    pub(crate) fn from_params(params: CellParams) -> Self {
+        CellParamsBuilder { inner: params }
+    }
+
+    builder_setter!(
+        /// Sets the process node (reported).
+        process,
+        Param::Process,
+        Nanometers
+    );
+    builder_setter!(
+        /// Sets the cell area in F² (reported).
+        cell_size,
+        Param::CellSize,
+        FeatureSquared
+    );
+    builder_setter!(
+        /// Sets the read current (reported; PCRAM).
+        read_current,
+        Param::ReadCurrent,
+        Microamps
+    );
+    builder_setter!(
+        /// Sets the read voltage (reported; STTRAM/RRAM).
+        read_voltage,
+        Param::ReadVoltage,
+        Volts
+    );
+    builder_setter!(
+        /// Sets the read power (reported; STTRAM/RRAM).
+        read_power,
+        Param::ReadPower,
+        Microwatts
+    );
+    builder_setter!(
+        /// Sets the read energy (reported; PCRAM).
+        read_energy,
+        Param::ReadEnergy,
+        Picojoules
+    );
+    builder_setter!(
+        /// Sets the RESET current (reported; PCRAM/STTRAM).
+        reset_current,
+        Param::ResetCurrent,
+        Microamps
+    );
+    builder_setter!(
+        /// Sets the RESET voltage (reported; RRAM).
+        reset_voltage,
+        Param::ResetVoltage,
+        Volts
+    );
+    builder_setter!(
+        /// Sets the RESET pulse width (reported).
+        reset_pulse,
+        Param::ResetPulse,
+        Nanoseconds
+    );
+    builder_setter!(
+        /// Sets the RESET energy (reported; STTRAM/RRAM).
+        reset_energy,
+        Param::ResetEnergy,
+        Picojoules
+    );
+    builder_setter!(
+        /// Sets the SET current (reported; PCRAM/STTRAM).
+        set_current,
+        Param::SetCurrent,
+        Microamps
+    );
+    builder_setter!(
+        /// Sets the SET voltage (reported; RRAM).
+        set_voltage,
+        Param::SetVoltage,
+        Volts
+    );
+    builder_setter!(
+        /// Sets the SET pulse width (reported).
+        set_pulse,
+        Param::SetPulse,
+        Nanoseconds
+    );
+    builder_setter!(
+        /// Sets the SET energy (reported; STTRAM/RRAM).
+        set_energy,
+        Param::SetEnergy,
+        Picojoules
+    );
+
+    /// Sets the number of storage levels per cell (default 1).
+    pub fn cell_levels(mut self, levels: u8) -> Self {
+        self.inner.cell_levels = levels.max(1);
+        self.inner
+            .provenance
+            .insert(Param::CellLevels, Provenance::Reported);
+        self
+    }
+
+    /// Sets the access device (default CMOS).
+    pub fn access_device(mut self, device: AccessDevice) -> Self {
+        self.inner.access_device = device;
+        self
+    }
+
+    /// Sets an arbitrary parameter with explicit provenance — used when
+    /// transcribing Table II's pre-derived (`*`/`†`) values.
+    pub fn derived(mut self, param: Param, value: f64, provenance: Provenance) -> Self {
+        self.inner.set(param, value, provenance);
+        self
+    }
+
+    /// Finalizes the cell model. No validation is performed here; call
+    /// [`CellParams::validate`] once heuristics have filled any gaps.
+    pub fn build(self) -> CellParams {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_sttram() -> CellParams {
+        CellParams::builder("Demo", MemClass::Sttram, 2020)
+            .process(Nanometers::new(45.0))
+            .cell_size(FeatureSquared::new(20.0))
+            .read_voltage(Volts::new(0.4))
+            .read_power(Microwatts::new(10.0))
+            .reset_current(Microamps::new(100.0))
+            .reset_pulse(Nanoseconds::new(5.0))
+            .reset_energy(Picojoules::new(0.5))
+            .set_current(Microamps::new(100.0))
+            .set_pulse(Nanoseconds::new(5.0))
+            .set_energy(Picojoules::new(0.5))
+            .build()
+    }
+
+    #[test]
+    fn builder_records_reported_provenance() {
+        let cell = demo_sttram();
+        assert_eq!(cell.provenance(Param::ReadVoltage), Some(Provenance::Reported));
+        assert_eq!(cell.derived_count(), 0);
+    }
+
+    #[test]
+    fn derived_setter_records_marker() {
+        let cell = CellParams::builder("X", MemClass::Rram, 2016)
+            .derived(Param::CellSize, 4.0, Provenance::Interpolated)
+            .build();
+        assert_eq!(
+            cell.provenance(Param::CellSize),
+            Some(Provenance::Interpolated)
+        );
+        assert_eq!(Provenance::Interpolated.marker(), "*");
+        assert_eq!(Provenance::Electrical.marker(), "†");
+        assert_eq!(cell.derived_count(), 1);
+    }
+
+    #[test]
+    fn validate_flags_missing_required_param() {
+        let cell = CellParams::builder("Partial", MemClass::Sttram, 2020)
+            .process(Nanometers::new(45.0))
+            .build();
+        let err = cell.validate().unwrap_err();
+        assert!(matches!(err, CellError::MissingParam { .. }));
+    }
+
+    #[test]
+    fn validate_flags_non_physical() {
+        let mut cell = demo_sttram();
+        cell.set(Param::ReadPower, -1.0, Provenance::Reported);
+        assert!(matches!(
+            cell.validate().unwrap_err(),
+            CellError::NonPhysical { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_flags_inapplicable_param() {
+        let mut cell = demo_sttram();
+        // A reset *voltage* is an RRAM-style parameter.
+        cell.set(Param::ResetVoltage, 1.0, Provenance::Reported);
+        assert!(matches!(
+            cell.validate().unwrap_err(),
+            CellError::Inapplicable { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_complete_model() {
+        assert!(demo_sttram().validate().is_ok());
+    }
+
+    #[test]
+    fn missing_params_lists_gaps_in_required_order() {
+        let cell = CellParams::builder("Partial", MemClass::Pcram, 2006)
+            .process(Nanometers::new(100.0))
+            .cell_size(FeatureSquared::new(16.6))
+            .reset_current(Microamps::new(600.0))
+            .reset_pulse(Nanoseconds::new(50.0))
+            .set_pulse(Nanoseconds::new(300.0))
+            .build();
+        let missing = cell.missing_params();
+        assert_eq!(
+            missing,
+            vec![Param::ReadCurrent, Param::ReadEnergy, Param::SetCurrent]
+        );
+    }
+
+    #[test]
+    fn display_name_uses_class_subscript() {
+        assert_eq!(demo_sttram().display_name(), "Demo_S");
+        let sram = CellParams::builder("SRAM", MemClass::Sram, 2009).build();
+        assert_eq!(sram.display_name(), "SRAM");
+    }
+
+    #[test]
+    fn area_per_bit_halves_for_mlc() {
+        let slc = demo_sttram();
+        assert_eq!(slc.area_per_bit().unwrap().value(), 20.0);
+        let mlc = CellParams::builder("Mlc", MemClass::Sttram, 2016)
+            .cell_size(FeatureSquared::new(63.0))
+            .cell_levels(2)
+            .build();
+        assert_eq!(mlc.area_per_bit().unwrap().value(), 31.5);
+    }
+
+    #[test]
+    fn worst_write_energy_prefers_reported_energies() {
+        let cell = demo_sttram();
+        let e = cell.worst_write_energy(Volts::new(1.0)).unwrap();
+        assert_eq!(e.value(), 0.5);
+    }
+
+    #[test]
+    fn worst_write_energy_derives_for_pcram() {
+        let cell = CellParams::builder("Oh", MemClass::Pcram, 2005)
+            .reset_current(Microamps::new(600.0))
+            .reset_pulse(Nanoseconds::new(10.0))
+            .set_current(Microamps::new(200.0))
+            .set_pulse(Nanoseconds::new(180.0))
+            .build();
+        // set: 200 µA * 180 ns * 1.0 V = 36 pJ; reset: 6 pJ.
+        let e = cell.worst_write_energy(Volts::new(1.0)).unwrap();
+        assert!((e.value() - 36.0).abs() < 1e-9);
+        assert_eq!(cell.worst_write_pulse().unwrap().value(), 180.0);
+    }
+
+    #[test]
+    fn applicability_matrix_matches_table_2_grey_cells() {
+        use MemClass::*;
+        use Param::*;
+        assert!(ReadCurrent.applies_to(Pcram));
+        assert!(!ReadCurrent.applies_to(Sttram));
+        assert!(!ReadVoltage.applies_to(Pcram));
+        assert!(ReadVoltage.applies_to(Rram));
+        assert!(ResetVoltage.applies_to(Rram));
+        assert!(!ResetVoltage.applies_to(Sttram));
+        assert!(SetCurrent.applies_to(Sttram));
+        assert!(!SetCurrent.applies_to(Rram));
+        assert!(!SetEnergy.applies_to(Pcram));
+    }
+
+    #[test]
+    fn cell_levels_clamped_to_at_least_one() {
+        let cell = CellParams::builder("Z", MemClass::Rram, 2016)
+            .cell_levels(0)
+            .build();
+        assert_eq!(cell.cell_levels(), 1);
+    }
+
+    #[test]
+    fn get_returns_levels_as_f64() {
+        let cell = CellParams::builder("Z", MemClass::Rram, 2016)
+            .cell_levels(2)
+            .build();
+        assert_eq!(cell.get(Param::CellLevels), Some(2.0));
+    }
+}

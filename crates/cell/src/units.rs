@@ -1,0 +1,474 @@
+//! Strongly-typed physical units used throughout the cell and circuit models.
+//!
+//! Every quantity the paper reports (Table II, Table III) carries a unit:
+//! nanoseconds, picojoules, microamps, volts, microwatts, watts, square
+//! millimeters, the lithography feature-squared area unit `F²`, nanometers of
+//! process node, and mebibytes of capacity. Mixing these up silently is the
+//! classic modeling bug this module rules out at compile time
+//! (see C-NEWTYPE in the Rust API guidelines).
+//!
+//! All units are thin `f64` newtypes with:
+//!
+//! * a `new` constructor and a `value()` accessor,
+//! * `Display` that prints the value with its unit suffix,
+//! * arithmetic with plain scalars (`* f64`, `/ f64`) where scaling a
+//!   quantity is meaningful,
+//! * same-unit addition/subtraction,
+//! * cross-unit products that produce the physically-correct unit (e.g.
+//!   [`Microamps`] × [`Volts`] = [`Microwatts`], the paper's equation (1)).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvm_llc_cell::units::{Microamps, Volts, Nanoseconds};
+//!
+//! // Equation (2) of the paper: E_set = I_set * V_access * t_set
+//! let energy = Microamps::new(80.0) * Volts::new(0.65) * Nanoseconds::new(10.0);
+//! assert!((energy.value() - 0.52).abs() < 1e-9); // picojoules
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Declares an `f64` newtype unit with constructor, accessor, `Display`,
+/// scalar scaling, and same-unit add/sub.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw value, stripped of its unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite and non-negative —
+            /// the validity condition for every physical quantity in the
+            /// paper's tables.
+            #[inline]
+            pub fn is_physical(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Dividing two same-unit quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Time in nanoseconds (`ns`). Used for pulse widths and cache latencies.
+    Nanoseconds,
+    "ns"
+);
+unit!(
+    /// Energy in picojoules (`pJ`). Used for per-operation cell energies.
+    Picojoules,
+    "pJ"
+);
+unit!(
+    /// Energy in nanojoules (`nJ`). Used for per-access cache energies
+    /// (Table III).
+    Nanojoules,
+    "nJ"
+);
+unit!(
+    /// Energy in joules (`J`). Used for whole-run LLC energy totals.
+    Joules,
+    "J"
+);
+unit!(
+    /// Current in microamps (`µA`).
+    Microamps,
+    "uA"
+);
+unit!(
+    /// Electric potential in volts (`V`).
+    Volts,
+    "V"
+);
+unit!(
+    /// Power in microwatts (`µW`). Used for cell read power.
+    Microwatts,
+    "uW"
+);
+unit!(
+    /// Power in watts (`W`). Used for cache leakage power (Table III).
+    Watts,
+    "W"
+);
+unit!(
+    /// Area in square millimeters (`mm²`). Used for cache area (Table III).
+    SquareMillimeters,
+    "mm^2"
+);
+unit!(
+    /// Cell area in squared lithography feature units (`F²`).
+    FeatureSquared,
+    "F^2"
+);
+unit!(
+    /// Lithography process node in nanometers (`nm`).
+    Nanometers,
+    "nm"
+);
+unit!(
+    /// Capacity in mebibytes (`MB` in the paper's notation).
+    Mebibytes,
+    "MB"
+);
+unit!(
+    /// Time in seconds (`s`). Used for whole-run execution time.
+    Seconds,
+    "s"
+);
+
+// --- Cross-unit physics -------------------------------------------------
+
+impl Mul<Volts> for Microamps {
+    type Output = Microwatts;
+
+    /// Equation (1) of the paper: `P_read = I_read * V_read`.
+    /// `µA × V = µW` exactly.
+    #[inline]
+    fn mul(self, rhs: Volts) -> Microwatts {
+        Microwatts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Microamps> for Volts {
+    type Output = Microwatts;
+    #[inline]
+    fn mul(self, rhs: Microamps) -> Microwatts {
+        rhs * self
+    }
+}
+
+impl Mul<Nanoseconds> for Microwatts {
+    type Output = Picojoules;
+
+    /// `µW × ns = 10⁻⁶ W × 10⁻⁹ s = 10⁻¹⁵ J = 10⁻³ pJ`... scaled:
+    /// `1 µW · 1 ns = 1 fJ = 0.001 pJ`.
+    #[inline]
+    fn mul(self, rhs: Nanoseconds) -> Picojoules {
+        Picojoules::new(self.value() * rhs.value() * 1e-3)
+    }
+}
+
+impl Mul<Nanoseconds> for Microamps {
+    /// Intermediate charge-like product used by equation (2); combined with
+    /// a voltage it yields energy. `µA·ns = fC`; we expose the full
+    /// `I·V·t` chain instead of a raw charge unit.
+    type Output = MicroampNanoseconds;
+    #[inline]
+    fn mul(self, rhs: Nanoseconds) -> MicroampNanoseconds {
+        MicroampNanoseconds(self.value() * rhs.value())
+    }
+}
+
+/// Charge-like intermediate (`µA·ns = fC`) produced while evaluating the
+/// paper's equation (2). Multiply by [`Volts`] to obtain [`Picojoules`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MicroampNanoseconds(f64);
+
+impl MicroampNanoseconds {
+    /// Returns the raw value in `µA·ns` (equivalently femtocoulombs).
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Mul<Volts> for MicroampNanoseconds {
+    type Output = Picojoules;
+
+    /// `fC × V = fJ = 10⁻³ pJ`.
+    #[inline]
+    fn mul(self, rhs: Volts) -> Picojoules {
+        Picojoules::new(self.0 * rhs.value() * 1e-3)
+    }
+}
+
+impl Picojoules {
+    /// Converts to nanojoules (`1 nJ = 1000 pJ`).
+    #[inline]
+    pub fn to_nanojoules(self) -> Nanojoules {
+        Nanojoules::new(self.value() * 1e-3)
+    }
+
+    /// Converts to joules.
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules::new(self.value() * 1e-12)
+    }
+}
+
+impl Nanojoules {
+    /// Converts to picojoules.
+    #[inline]
+    pub fn to_picojoules(self) -> Picojoules {
+        Picojoules::new(self.value() * 1e3)
+    }
+
+    /// Converts to joules.
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules::new(self.value() * 1e-9)
+    }
+}
+
+impl Nanoseconds {
+    /// Converts to seconds.
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.value() * 1e-9)
+    }
+
+    /// Converts a latency to whole clock cycles at `freq_ghz` GHz, rounding
+    /// up (a partial cycle still occupies a full cycle slot).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvm_llc_cell::units::Nanoseconds;
+    /// // 1.234 ns at 2.66 GHz = 3.28 cycles -> 4
+    /// assert_eq!(Nanoseconds::new(1.234).to_cycles(2.66), 4);
+    /// ```
+    #[inline]
+    pub fn to_cycles(self, freq_ghz: f64) -> u64 {
+        (self.value() * freq_ghz).ceil().max(0.0) as u64
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    /// `W × s = J` — leakage power integrated over runtime.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mebibytes {
+    /// Number of bytes in this capacity.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        (self.value() * 1024.0 * 1024.0).round() as u64
+    }
+
+    /// Builds a capacity from a byte count.
+    #[inline]
+    pub fn from_bytes(bytes: u64) -> Self {
+        Self::new(bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+impl FeatureSquared {
+    /// Physical area of one cell at the given process node, in mm².
+    ///
+    /// One `F²` at process `s` nm is `s² nm² = s² × 10⁻¹² mm² × 10⁻⁶`...
+    /// concretely `(s × 10⁻⁶ mm)²`.
+    #[inline]
+    pub fn physical_area(self, process: Nanometers) -> SquareMillimeters {
+        let f_mm = process.value() * 1e-6;
+        SquareMillimeters::new(self.value() * f_mm * f_mm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_1_microamps_times_volts_is_microwatts() {
+        // Umeki reads at 0.38 V; a hypothetical 4.47 µA read current gives
+        // the reported 1.70 µW.
+        let p = Microamps::new(4.473684) * Volts::new(0.38);
+        assert!((p.value() - 1.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn equation_2_chung_reset_energy() {
+        // Chung: 80 µA, 0.65 V access, 10 ns pulse -> 0.52 pJ (Table II †).
+        let e = Microamps::new(80.0) * Nanoseconds::new(10.0) * Volts::new(0.65);
+        assert!((e.value() - 0.52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn microwatt_nanosecond_product_is_femtojoules_as_picojoules() {
+        let e = Microwatts::new(1000.0) * Nanoseconds::new(1.0);
+        assert!((e.value() - 1.0).abs() < 1e-12); // 1000 µW * 1 ns = 1 pJ
+    }
+
+    #[test]
+    fn display_includes_suffix_and_respects_precision() {
+        assert_eq!(format!("{}", Nanoseconds::new(1.5)), "1.5 ns");
+        assert_eq!(format!("{:.2}", Picojoules::new(0.525)), "0.53 pJ"); // round-half-even
+        assert_eq!(format!("{:.1}", Watts::new(3.438)), "3.4 W");
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Nanoseconds::new(2.0) + Nanoseconds::new(3.0);
+        assert_eq!(a.value(), 5.0);
+        let b = Nanoseconds::new(2.0) - Nanoseconds::new(3.0);
+        assert_eq!(b.value(), -1.0);
+        assert_eq!((Nanoseconds::new(6.0) / Nanoseconds::new(3.0)), 2.0);
+        assert_eq!((Nanoseconds::new(6.0) * 2.0).value(), 12.0);
+        assert_eq!((2.0 * Nanoseconds::new(6.0)).value(), 12.0);
+        assert_eq!((-Nanoseconds::new(6.0)).value(), -6.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Picojoules = (1..=4).map(|i| Picojoules::new(i as f64)).sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn capacity_round_trips_through_bytes() {
+        let two_mb = Mebibytes::new(2.0);
+        assert_eq!(two_mb.bytes(), 2 * 1024 * 1024);
+        assert_eq!(Mebibytes::from_bytes(two_mb.bytes()).value(), 2.0);
+    }
+
+    #[test]
+    fn latency_to_cycles_rounds_up() {
+        assert_eq!(Nanoseconds::new(0.0).to_cycles(2.66), 0);
+        assert_eq!(Nanoseconds::new(0.375).to_cycles(2.66), 1); // 0.9975 cycles
+        assert_eq!(Nanoseconds::new(0.377).to_cycles(2.66), 2); // 1.0028 cycles
+        assert_eq!(Nanoseconds::new(300.0).to_cycles(2.66), 798);
+    }
+
+    #[test]
+    fn physical_cell_area_from_feature_squared() {
+        // 4 F² at 22 nm: (22e-6 mm)² * 4 = 1.936e-9 mm².
+        let a = FeatureSquared::new(4.0).physical_area(Nanometers::new(22.0));
+        assert!((a.value() - 1.936e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn is_physical_rejects_nan_and_negative() {
+        assert!(Volts::new(1.0).is_physical());
+        assert!(Volts::new(0.0).is_physical());
+        assert!(!Volts::new(-0.1).is_physical());
+        assert!(!Volts::new(f64::NAN).is_physical());
+        assert!(!Volts::new(f64::INFINITY).is_physical());
+    }
+
+    #[test]
+    fn leakage_energy_is_power_times_seconds() {
+        let e = Watts::new(3.438) * Seconds::new(2.0);
+        assert!((e.value() - 6.876).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Nanojoules::new(1.0);
+        let b = Nanojoules::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the circuit-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing cache organizations or models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A geometric parameter must be a power of two.
+    NotPowerOfTwo {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// Capacity, block size, and associativity are inconsistent (fewer
+    /// than one set).
+    TooSmall {
+        /// Capacity in bytes.
+        capacity_bytes: u64,
+        /// Block size in bytes.
+        block_bytes: u32,
+        /// Associativity.
+        associativity: u32,
+    },
+    /// The cell model lacks a parameter the circuit model needs (process
+    /// node or cell size, or any operating parameter for its class).
+    IncompleteCell(nvm_llc_cell::CellError),
+    /// No candidate organization satisfied the constraints (e.g. an area
+    /// budget smaller than one mat).
+    NoFeasibleOrganization(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            CircuitError::TooSmall {
+                capacity_bytes,
+                block_bytes,
+                associativity,
+            } => write!(
+                f,
+                "capacity {capacity_bytes} B cannot hold one set of {associativity} × {block_bytes} B blocks"
+            ),
+            CircuitError::IncompleteCell(e) => write!(f, "incomplete cell model: {e}"),
+            CircuitError::NoFeasibleOrganization(why) => {
+                write!(f, "no feasible cache organization: {why}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::IncompleteCell(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nvm_llc_cell::CellError> for CircuitError {
+    fn from(e: nvm_llc_cell::CellError) -> Self {
+        CircuitError::IncompleteCell(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CircuitError::NotPowerOfTwo {
+            what: "banks",
+            value: 3,
+        };
+        assert!(e.to_string().contains("banks"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn cell_error_converts_and_chains() {
+        let inner = nvm_llc_cell::CellError::UnknownTechnology("X".into());
+        let outer: CircuitError = inner.clone().into();
+        assert!(outer.to_string().contains("incomplete cell model"));
+        assert!(Error::source(&outer).is_some());
+    }
+}

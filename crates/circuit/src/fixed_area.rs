@@ -1,0 +1,123 @@
+//! Fixed-area capacity search (paper Section IV-C).
+//!
+//! In the *fixed-area* configuration the architecture is capacity-limited:
+//! each NVM LLC is grown to the largest capacity whose area does not
+//! exceed the SRAM baseline's footprint (6.55 mm² for the 2 MB, 45 nm
+//! baseline). Dense technologies gain enormously — the paper's Zhang_R
+//! reaches 128 MB in the SRAM budget.
+
+use nvm_llc_cell::units::SquareMillimeters;
+
+use crate::error::CircuitError;
+use crate::model::LlcModel;
+use crate::solve::CacheModeler;
+
+/// The paper's area budget: the 2 MB / 45 nm SRAM LLC footprint, mm².
+pub const SRAM_AREA_BUDGET_MM2: f64 = 6.55;
+
+/// Finds the largest power-of-two capacity (in bytes, starting from
+/// `min_capacity_bytes`) whose modeled area fits within `budget`, and
+/// returns its model.
+///
+/// # Errors
+///
+/// [`CircuitError::NoFeasibleOrganization`] if even `min_capacity_bytes`
+/// exceeds the budget, or any propagated modeling error.
+pub fn max_capacity_model(
+    modeler: &CacheModeler,
+    budget: SquareMillimeters,
+    min_capacity_bytes: u64,
+    max_capacity_bytes: u64,
+) -> Result<LlcModel, CircuitError> {
+    let mut best: Option<LlcModel> = None;
+    let mut capacity = min_capacity_bytes.next_power_of_two();
+    while capacity <= max_capacity_bytes {
+        match modeler.model(capacity) {
+            Ok(m) if m.area.value() <= budget.value() => best = Some(m),
+            Ok(_) => break, // area grows monotonically with capacity
+            Err(e) => return Err(e),
+        }
+        capacity *= 2;
+    }
+    best.ok_or_else(|| {
+        CircuitError::NoFeasibleOrganization(format!(
+            "{}: even {} B exceeds the {:.2} mm² budget",
+            modeler.cell().name(),
+            min_capacity_bytes,
+            budget.value()
+        ))
+    })
+}
+
+/// Convenience wrapper with the paper's limits: 1 MB to 256 MB under the
+/// SRAM footprint.
+///
+/// # Errors
+///
+/// Same as [`max_capacity_model`].
+pub fn paper_fixed_area_model(modeler: &CacheModeler) -> Result<LlcModel, CircuitError> {
+    max_capacity_model(
+        modeler,
+        SquareMillimeters::new(SRAM_AREA_BUDGET_MM2),
+        1024 * 1024,
+        256 * 1024 * 1024,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_cell::technologies;
+
+    #[test]
+    fn dense_rram_reaches_tens_of_megabytes() {
+        let modeler = CacheModeler::new(technologies::zhang());
+        let m = paper_fixed_area_model(&modeler).unwrap();
+        // Paper: 128 MB. Accept any multi-ten-MB figure from the
+        // re-derived area model.
+        assert!(m.capacity.value() >= 32.0, "{m}");
+        assert!(m.area.value() <= SRAM_AREA_BUDGET_MM2);
+    }
+
+    #[test]
+    fn fixed_area_capacity_ordering_matches_density() {
+        // Denser per-bit cells must never end up with less capacity.
+        let zhang = paper_fixed_area_model(&CacheModeler::new(technologies::zhang())).unwrap();
+        let hayakawa =
+            paper_fixed_area_model(&CacheModeler::new(technologies::hayakawa())).unwrap();
+        let jan = paper_fixed_area_model(&CacheModeler::new(technologies::jan())).unwrap();
+        assert!(zhang.capacity.value() >= hayakawa.capacity.value());
+        assert!(hayakawa.capacity.value() > jan.capacity.value());
+    }
+
+    #[test]
+    fn jan_is_capacity_limited_by_its_large_cell() {
+        // Paper: Jan_S only reaches 1 MB in the SRAM budget.
+        let jan = paper_fixed_area_model(&CacheModeler::new(technologies::jan())).unwrap();
+        assert!(jan.capacity.value() <= 4.0, "{jan}");
+    }
+
+    #[test]
+    fn budget_too_small_errors() {
+        let modeler = CacheModeler::new(technologies::jan());
+        let err = max_capacity_model(
+            &modeler,
+            SquareMillimeters::new(0.001),
+            1024 * 1024,
+            256 * 1024 * 1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::NoFeasibleOrganization(_)));
+    }
+
+    #[test]
+    fn every_nvm_fits_some_capacity_in_the_paper_budget() {
+        for cell in technologies::all_nvms() {
+            let modeler = CacheModeler::new(cell);
+            let m = paper_fixed_area_model(&modeler)
+                .unwrap_or_else(|e| panic!("{}: {e}", modeler.cell().name()));
+            assert!(m.area.value() <= SRAM_AREA_BUDGET_MM2);
+            assert!(m.capacity.value() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! H-tree interconnect model.
+//!
+//! NVSim routes address and data between the cache port and its mats over
+//! a balanced H-tree. The paper's equations (4) and (5) charge a read two
+//! H-tree traversals (address in, data out) and a write one (address and
+//! data travel together; completion is fire-and-forget):
+//!
+//! ```text
+//! t_read  ≈ 2 · t_htree + t_read,mat      (4)
+//! t_write ≈ 1 · t_htree + t_write,mat     (5)
+//! ```
+
+use crate::technology::ProcessTech;
+
+/// Latency and per-traversal energy of a cache's H-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HtreeModel {
+    /// One-way traversal latency (`t_htree`), ns.
+    pub latency_ns: f64,
+    /// Energy of one traversal carrying one block of data, nJ.
+    pub energy_nj: f64,
+    /// Root-to-leaf routed distance, mm.
+    pub distance_mm: f64,
+}
+
+/// Models the H-tree of a cache with `total_mats` mats spread over
+/// `total_area_mm2`, moving `block_bits` bits per data traversal.
+///
+/// The root-to-leaf distance of a balanced H-tree over a square floorplan
+/// is ≈ half the die side per level summed — bounded by one full side; we
+/// use `sqrt(area)` as the routed distance, plus a 2-FO4 rebuffer per
+/// tree level (`log4` of the mat count).
+pub fn model_htree(
+    tech: &ProcessTech,
+    total_mats: u32,
+    total_area_mm2: f64,
+    block_bits: u32,
+) -> HtreeModel {
+    let distance_mm = total_area_mm2.max(0.0).sqrt();
+    let levels = (f64::from(total_mats.max(1))).log2() / 2.0;
+    let rebuffer_ns = 2.0 * levels.ceil().max(0.0) * tech.fo4_ns;
+    let latency_ns = tech.wire_delay_ns(distance_mm) + rebuffer_ns;
+    let energy_nj = tech.wire_energy_pj(distance_mm, block_bits) * 1e-3;
+    HtreeModel {
+        latency_ns,
+        energy_nj,
+        distance_mm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_cell::units::Nanometers;
+
+    fn t45() -> ProcessTech {
+        ProcessTech::at(Nanometers::new(45.0))
+    }
+
+    #[test]
+    fn bigger_area_means_longer_htree() {
+        let small = model_htree(&t45(), 16, 1.0, 512);
+        let large = model_htree(&t45(), 16, 16.0, 512);
+        assert!(large.latency_ns > small.latency_ns);
+        assert!(large.energy_nj > small.energy_nj);
+        assert!((large.distance_mm - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_mats_add_rebuffer_levels() {
+        let few = model_htree(&t45(), 4, 4.0, 512);
+        let many = model_htree(&t45(), 1024, 4.0, 512);
+        assert!(many.latency_ns > few.latency_ns);
+    }
+
+    #[test]
+    fn single_mat_tree_is_cheap_but_nonzero() {
+        let h = model_htree(&t45(), 1, 0.25, 512);
+        assert!(h.latency_ns > 0.0);
+        assert!(h.latency_ns < 0.1);
+    }
+
+    #[test]
+    fn energy_scales_with_block_width() {
+        let narrow = model_htree(&t45(), 16, 4.0, 64);
+        let wide = model_htree(&t45(), 16, 4.0, 512);
+        assert!((wide.energy_nj / narrow.energy_nj - 8.0).abs() < 1e-9);
+    }
+}

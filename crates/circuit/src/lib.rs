@@ -1,0 +1,144 @@
+//! # nvm-llc-circuit — circuit-level NVM cache modeling (NVSim substitute)
+//!
+//! Implements the circuit-level half of the paper's pipeline: from a
+//! [`nvm_llc_cell::CellParams`] cell model to a full LLC model — timing,
+//! dynamic energy, leakage, area, capacity — via the paper's equations
+//! (4)–(8), the way the authors used NVSim.
+//!
+//! Two ways to obtain a model:
+//!
+//! * [`solve::CacheModeler`] — the analytical model: mats
+//!   ([`mat`]), an H-tree ([`htree`]), per-node technology constants
+//!   ([`technology`]), and NVSim-style organization search.
+//! * [`mod reference`](crate::reference) — the paper's published Table III numbers, which are
+//!   the exact values that drove the paper's system simulations.
+//!
+//! The *fixed-capacity* vs *fixed-area* dichotomy of Section IV-C is
+//! served by [`solve::CacheModeler::model`] (pick a capacity) and
+//! [`fixed_area::paper_fixed_area_model`] (grow to the SRAM footprint).
+//!
+//! ## Example
+//!
+//! ```
+//! use nvm_llc_cell::technologies;
+//! use nvm_llc_circuit::{solve::CacheModeler, fixed_area};
+//!
+//! let modeler = CacheModeler::new(technologies::hayakawa());
+//! let fixed_cap = modeler.model(2 * 1024 * 1024)?;          // 2 MB
+//! let fixed_area = fixed_area::paper_fixed_area_model(&modeler)?; // ≫ 2 MB
+//! assert!(fixed_area.capacity.value() > fixed_cap.capacity.value());
+//! # Ok::<(), nvm_llc_circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod fixed_area;
+pub mod htree;
+pub mod mat;
+pub mod model;
+pub mod organization;
+pub mod reference;
+pub mod solve;
+pub mod sweep;
+pub mod technology;
+
+pub use error::CircuitError;
+pub use model::{LlcModel, ModelSource};
+pub use organization::CacheOrganization;
+pub use solve::{CacheModeler, OptimizationTarget};
+
+#[cfg(test)]
+mod validation {
+    //! Cross-validation of the analytical model against the paper's
+    //! published Table III: the *shape* must hold even where absolute
+    //! numbers drift.
+
+    use crate::reference;
+    use crate::solve::CacheModeler;
+    use nvm_llc_cell::technologies;
+
+    /// Generated and reference models agree on which technology classes
+    /// pay the write-energy penalty.
+    #[test]
+    fn generated_write_energy_ordering_tracks_reference() {
+        let reference = reference::fixed_capacity();
+        for cell in technologies::all_nvms() {
+            let name = cell.name().to_owned();
+            let generated = CacheModeler::new(cell).model(2 * 1024 * 1024).unwrap();
+            let reference = reference::by_name(&reference, &name).unwrap();
+            // Same order of magnitude band: PCRAM tens-to-hundreds of nJ,
+            // others around or below a few nJ.
+            let gen_heavy = generated.write_energy.value() > 10.0;
+            let ref_heavy = reference.write_energy.value() > 10.0;
+            assert_eq!(gen_heavy, ref_heavy, "{name}");
+        }
+    }
+
+    /// Generated latencies stay within a small factor of the reference.
+    #[test]
+    fn generated_write_latency_within_2x_of_reference() {
+        let reference_models = reference::fixed_capacity();
+        for cell in technologies::all_nvms() {
+            let name = cell.name().to_owned();
+            let generated = CacheModeler::new(cell).model(2 * 1024 * 1024).unwrap();
+            let reference = reference::by_name(&reference_models, &name).unwrap();
+            let ratio = generated.write_latency().value() / reference.write_latency().value();
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{name}: generated {} vs reference {}",
+                generated.write_latency(),
+                reference.write_latency()
+            );
+        }
+    }
+
+    /// Generated leakage is within 5× of the reference for every NVM and
+    /// preserves the SRAM-dominates property.
+    #[test]
+    fn generated_leakage_shape_matches_reference() {
+        let reference_models = reference::fixed_capacity();
+        let sram_gen = CacheModeler::new(technologies::sram_baseline())
+            .model(2 * 1024 * 1024)
+            .unwrap();
+        for cell in technologies::all_nvms() {
+            let name = cell.name().to_owned();
+            let generated = CacheModeler::new(cell).model(2 * 1024 * 1024).unwrap();
+            let reference = reference::by_name(&reference_models, &name).unwrap();
+            let ratio = generated.leakage.value() / reference.leakage.value();
+            assert!(
+                (0.2..=5.0).contains(&ratio),
+                "{name}: generated {} vs reference {}",
+                generated.leakage,
+                reference.leakage
+            );
+            assert!(generated.leakage.value() < sram_gen.leakage.value());
+        }
+    }
+
+    /// Fixed-area capacities from the analytical model agree with the
+    /// reference within a couple of power-of-two steps for the headline
+    /// technologies.
+    #[test]
+    fn fixed_area_capacities_track_reference() {
+        let reference_models = reference::fixed_area();
+        for (name, cell) in [
+            ("Zhang", technologies::zhang()),
+            ("Hayakawa", technologies::hayakawa()),
+            ("Xue", technologies::xue()),
+            ("Jan", technologies::jan()),
+        ] {
+            let modeler = CacheModeler::new(cell);
+            let generated = crate::fixed_area::paper_fixed_area_model(&modeler).unwrap();
+            let reference = reference::by_name(&reference_models, name).unwrap();
+            let ratio = generated.capacity.value() / reference.capacity.value();
+            assert!(
+                (0.25..=4.0).contains(&ratio),
+                "{name}: generated {} MB vs reference {} MB",
+                generated.capacity.value(),
+                reference.capacity.value()
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The circuit model's output: one row of the paper's Table III.
+
+use std::fmt;
+
+use nvm_llc_cell::units::{Mebibytes, Nanojoules, Nanoseconds, SquareMillimeters, Watts};
+use nvm_llc_cell::MemClass;
+
+/// Where an [`LlcModel`]'s numbers came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelSource {
+    /// Produced by this crate's analytical circuit model.
+    #[default]
+    Generated,
+    /// Transcribed from the paper's published Table III (the authors'
+    /// NVSim outputs) — the dataset that drives the system simulations,
+    /// exactly as NVSim outputs drove the authors' Sniper runs.
+    PaperReference,
+}
+
+impl fmt::Display for ModelSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelSource::Generated => f.write_str("generated"),
+            ModelSource::PaperReference => f.write_str("paper reference"),
+        }
+    }
+}
+
+/// A complete LLC model: timing, energy, leakage, area, and capacity for
+/// one memory technology (one column of Table III).
+///
+/// This is a passive data structure — every field is public — because it
+/// is precisely the interface between the circuit level and the system
+/// simulator, and downstream code reads every field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlcModel {
+    /// Citation name ("Zhang", "SRAM", ...).
+    pub name: String,
+    /// Memory technology class.
+    pub class: MemClass,
+    /// Cache capacity.
+    pub capacity: Mebibytes,
+    /// Total cache area.
+    pub area: SquareMillimeters,
+    /// Tag access latency.
+    pub tag_latency: Nanoseconds,
+    /// Data read latency (`t_read`, equation (4)).
+    pub read_latency: Nanoseconds,
+    /// Data write latency on the SET path (equation (5)).
+    pub write_latency_set: Nanoseconds,
+    /// Data write latency on the RESET path. Equal to
+    /// [`Self::write_latency_set`] for technologies without a split.
+    pub write_latency_reset: Nanoseconds,
+    /// Cache hit dynamic energy (`E_dyn,hit`, equation (6)).
+    pub hit_energy: Nanojoules,
+    /// Cache miss dynamic energy (`E_dyn,miss` = tag energy, equation (7)).
+    pub miss_energy: Nanojoules,
+    /// Cache write dynamic energy (`E_dyn,write`, equation (8)).
+    pub write_energy: Nanojoules,
+    /// Total leakage power of the cache.
+    pub leakage: Watts,
+    /// Provenance of the numbers.
+    pub source: ModelSource,
+}
+
+impl LlcModel {
+    /// The paper's display name: citation name plus class subscript.
+    pub fn display_name(&self) -> String {
+        if self.class == MemClass::Sram {
+            self.name.clone()
+        } else {
+            format!("{}_{}", self.name, self.class.subscript())
+        }
+    }
+
+    /// Worst-case data write latency (max of SET and RESET paths) — what a
+    /// conservative controller must budget per write.
+    pub fn write_latency(&self) -> Nanoseconds {
+        self.write_latency_set.max(self.write_latency_reset)
+    }
+
+    /// Mean data write latency assuming an even SET/RESET mix.
+    pub fn mean_write_latency(&self) -> Nanoseconds {
+        (self.write_latency_set + self.write_latency_reset) / 2.0
+    }
+
+    /// Read/write latency asymmetry: write ÷ read.
+    pub fn write_read_latency_ratio(&self) -> f64 {
+        self.write_latency() / self.read_latency
+    }
+
+    /// Read/write energy asymmetry: write ÷ hit energy.
+    pub fn write_read_energy_ratio(&self) -> f64 {
+        self.write_energy / self.hit_energy
+    }
+
+    /// Checks all figures are finite and positive.
+    pub fn is_physical(&self) -> bool {
+        self.capacity.is_physical()
+            && self.area.is_physical()
+            && self.tag_latency.is_physical()
+            && self.read_latency.is_physical()
+            && self.write_latency_set.is_physical()
+            && self.write_latency_reset.is_physical()
+            && self.hit_energy.is_physical()
+            && self.miss_energy.is_physical()
+            && self.write_energy.is_physical()
+            && self.leakage.is_physical()
+            && self.capacity.value() > 0.0
+            && self.read_latency.value() > 0.0
+    }
+}
+
+impl fmt::Display for LlcModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {:.0} MB, {:.3} mm², read {:.2} ns, write {:.2} ns, \
+             hit {:.3} nJ, write {:.3} nJ, leak {:.3} W ({})",
+            self.display_name(),
+            self.class,
+            self.capacity.value(),
+            self.area.value(),
+            self.read_latency.value(),
+            self.write_latency().value(),
+            self.hit_energy.value(),
+            self.write_energy.value(),
+            self.leakage.value(),
+            self.source,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> LlcModel {
+        LlcModel {
+            name: "Demo".into(),
+            class: MemClass::Pcram,
+            capacity: Mebibytes::new(2.0),
+            area: SquareMillimeters::new(4.0),
+            tag_latency: Nanoseconds::new(0.7),
+            read_latency: Nanoseconds::new(1.5),
+            write_latency_set: Nanoseconds::new(180.0),
+            write_latency_reset: Nanoseconds::new(11.0),
+            hit_energy: Nanojoules::new(0.8),
+            miss_energy: Nanojoules::new(0.04),
+            write_energy: Nanojoules::new(225.0),
+            leakage: Watts::new(0.06),
+            source: ModelSource::Generated,
+        }
+    }
+
+    #[test]
+    fn write_latency_takes_worst_path() {
+        let m = demo();
+        assert_eq!(m.write_latency().value(), 180.0);
+        assert!((m.mean_write_latency().value() - 95.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetry_ratios() {
+        let m = demo();
+        assert!((m.write_read_latency_ratio() - 120.0).abs() < 1e-9);
+        assert!((m.write_read_energy_ratio() - 281.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_name_and_physicality() {
+        let m = demo();
+        assert_eq!(m.display_name(), "Demo_P");
+        assert!(m.is_physical());
+        let mut broken = demo();
+        broken.read_latency = Nanoseconds::new(f64::NAN);
+        assert!(!broken.is_physical());
+    }
+
+    #[test]
+    fn display_mentions_source() {
+        assert!(demo().to_string().contains("generated"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Cache array organization: how a capacity is decomposed into banks,
+//! mats, and subarray rows/columns.
+//!
+//! NVSim explores this space automatically; [`crate::solve::CacheModeler`]
+//! does the same over [`CacheOrganization::candidates`].
+
+use nvm_llc_cell::units::Mebibytes;
+
+use crate::error::CircuitError;
+
+/// Physical address width assumed for tag sizing, in bits.
+pub const ADDRESS_BITS: u32 = 48;
+
+/// Per-block status bits (valid, dirty, coherence state).
+pub const STATUS_BITS: u32 = 3;
+
+/// One concrete array organization for a cache of a given capacity.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_circuit::organization::CacheOrganization;
+///
+/// let org = CacheOrganization::new(2 * 1024 * 1024, 64, 16, 4, 4)?;
+/// assert_eq!(org.sets(), 2048);
+/// assert_eq!(org.total_mats(), 16);
+/// # Ok::<(), nvm_llc_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOrganization {
+    capacity_bytes: u64,
+    block_bytes: u32,
+    associativity: u32,
+    banks: u32,
+    mats_per_bank: u32,
+}
+
+impl CacheOrganization {
+    /// Builds an organization, validating that every geometric parameter
+    /// is a power of two and that at least one set exists.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NotPowerOfTwo`] or [`CircuitError::TooSmall`].
+    pub fn new(
+        capacity_bytes: u64,
+        block_bytes: u32,
+        associativity: u32,
+        banks: u32,
+        mats_per_bank: u32,
+    ) -> Result<Self, CircuitError> {
+        for (what, value) in [
+            ("capacity", capacity_bytes),
+            ("block size", u64::from(block_bytes)),
+            ("associativity", u64::from(associativity)),
+            ("banks", u64::from(banks)),
+            ("mats per bank", u64::from(mats_per_bank)),
+        ] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(CircuitError::NotPowerOfTwo { what, value });
+            }
+        }
+        let set_bytes = u64::from(block_bytes) * u64::from(associativity);
+        if capacity_bytes < set_bytes {
+            return Err(CircuitError::TooSmall {
+                capacity_bytes,
+                block_bytes,
+                associativity,
+            });
+        }
+        Ok(CacheOrganization {
+            capacity_bytes,
+            block_bytes,
+            associativity,
+            banks,
+            mats_per_bank,
+        })
+    }
+
+    /// The paper's LLC geometry (Table IV): 64 B blocks, 16-way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheOrganization::new`] errors for tiny capacities.
+    pub fn gainestown_llc(
+        capacity_bytes: u64,
+        banks: u32,
+        mats_per_bank: u32,
+    ) -> Result<Self, CircuitError> {
+        Self::new(capacity_bytes, 64, 16, banks, mats_per_bank)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Mebibytes {
+        Mebibytes::from_bytes(self.capacity_bytes)
+    }
+
+    /// Cache block (line) size in bytes.
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Set associativity.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Mats per bank.
+    pub fn mats_per_bank(&self) -> u32 {
+        self.mats_per_bank
+    }
+
+    /// Total mats across all banks.
+    pub fn total_mats(&self) -> u32 {
+        self.banks * self.mats_per_bank
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (u64::from(self.block_bytes) * u64::from(self.associativity))
+    }
+
+    /// Data bits stored per mat.
+    pub fn data_bits_per_mat(&self) -> u64 {
+        self.capacity_bytes * 8 / u64::from(self.total_mats())
+    }
+
+    /// Tag bits per block: address tag + status.
+    pub fn tag_bits_per_block(&self) -> u32 {
+        let index_bits = (self.sets().max(2) as f64).log2().ceil() as u32;
+        let offset_bits = (f64::from(self.block_bytes)).log2().ceil() as u32;
+        ADDRESS_BITS.saturating_sub(index_bits + offset_bits) + STATUS_BITS
+    }
+
+    /// Total tag-array bits.
+    pub fn tag_bits_total(&self) -> u64 {
+        self.sets() * u64::from(self.associativity) * u64::from(self.tag_bits_per_block())
+    }
+
+    /// Rows in one mat's subarray, assuming a square-ish aspect: the mat
+    /// holds `data_bits_per_mat` cells (for SLC; MLC packs `levels` bits
+    /// per cell) arranged with one block's bits along a row where
+    /// possible.
+    pub fn mat_rows(&self, cell_levels: u8) -> u64 {
+        let cells = self.data_bits_per_mat() / u64::from(cell_levels.max(1));
+        let row_bits = u64::from(self.block_bytes) * 8 / u64::from(cell_levels.max(1));
+        (cells / row_bits.max(1)).max(1)
+    }
+
+    /// Columns (bitlines) in one mat's subarray.
+    pub fn mat_cols(&self, cell_levels: u8) -> u64 {
+        u64::from(self.block_bytes) * 8 / u64::from(cell_levels.max(1))
+    }
+
+    /// Candidate organizations for a capacity, enumerating bank/mat splits
+    /// the solver scores. Geometries that would leave a mat with fewer
+    /// than one row are skipped.
+    pub fn candidates(
+        capacity_bytes: u64,
+        block_bytes: u32,
+        associativity: u32,
+    ) -> Vec<CacheOrganization> {
+        let mut out = Vec::new();
+        for banks_log2 in 0..=4u32 {
+            for mats_log2 in 0..=6u32 {
+                let banks = 1 << banks_log2;
+                let mats = 1 << mats_log2;
+                if let Ok(org) =
+                    CacheOrganization::new(capacity_bytes, block_bytes, associativity, banks, mats)
+                {
+                    // A mat must hold at least one full block row.
+                    if org.data_bits_per_mat() >= u64::from(block_bytes) * 8 {
+                        out.push(org);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_mb() -> CacheOrganization {
+        CacheOrganization::gainestown_llc(2 * 1024 * 1024, 4, 4).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            CacheOrganization::new(3_000_000, 64, 16, 4, 4),
+            Err(CircuitError::NotPowerOfTwo { what: "capacity", .. })
+        ));
+        assert!(matches!(
+            CacheOrganization::new(1 << 21, 64, 16, 3, 4),
+            Err(CircuitError::NotPowerOfTwo { what: "banks", .. })
+        ));
+        assert!(matches!(
+            CacheOrganization::new(1 << 21, 64, 16, 0, 4),
+            Err(CircuitError::NotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_capacity_below_one_set() {
+        assert!(matches!(
+            CacheOrganization::new(512, 64, 16, 1, 1),
+            Err(CircuitError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn gainestown_2mb_geometry() {
+        let org = two_mb();
+        assert_eq!(org.sets(), 2048);
+        assert_eq!(org.capacity().value(), 2.0);
+        assert_eq!(org.block_bytes(), 64);
+        assert_eq!(org.associativity(), 16);
+        // 48-bit address: tag = 48 - 11 (index) - 6 (offset) + 3 status.
+        assert_eq!(org.tag_bits_per_block(), 34);
+    }
+
+    #[test]
+    fn data_bits_split_evenly_across_mats() {
+        let org = two_mb();
+        assert_eq!(
+            org.data_bits_per_mat() * u64::from(org.total_mats()),
+            2 * 1024 * 1024 * 8
+        );
+    }
+
+    #[test]
+    fn mlc_halves_rows_and_cols() {
+        let org = two_mb();
+        assert_eq!(org.mat_rows(2) * 2 * org.mat_cols(2), org.data_bits_per_mat());
+        assert_eq!(org.mat_cols(1), 512);
+        assert_eq!(org.mat_cols(2), 256);
+    }
+
+    #[test]
+    fn candidates_cover_multiple_geometries() {
+        let c = CacheOrganization::candidates(2 * 1024 * 1024, 64, 16);
+        assert!(c.len() > 10);
+        assert!(c.iter().all(|o| o.capacity_bytes() == 2 * 1024 * 1024));
+        // All candidate mats can hold at least one block.
+        assert!(c
+            .iter()
+            .all(|o| o.data_bits_per_mat() >= 512));
+    }
+
+    #[test]
+    fn tag_bits_shrink_with_more_sets() {
+        let small = CacheOrganization::gainestown_llc(1 << 21, 1, 1).unwrap();
+        let large = CacheOrganization::gainestown_llc(1 << 27, 1, 1).unwrap();
+        assert!(large.tag_bits_per_block() < small.tag_bits_per_block());
+        assert!(large.tag_bits_total() > small.tag_bits_total());
+    }
+}

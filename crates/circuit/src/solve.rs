@@ -1,0 +1,394 @@
+//! The cache modeler: cell parameters in, Table III row out.
+//!
+//! [`CacheModeler`] assembles the mat ([`crate::mat`]) and H-tree
+//! ([`crate::htree`]) components into a full [`LlcModel`] using the
+//! paper's equations (4)–(8), and can search the organization space like
+//! NVSim's internal design-space exploration.
+
+use nvm_llc_cell::units::{Mebibytes, Nanojoules, Nanoseconds, SquareMillimeters, Watts};
+use nvm_llc_cell::CellParams;
+
+use crate::error::CircuitError;
+use crate::htree::model_htree;
+use crate::mat::{model_mat, sense_multiplier};
+use crate::model::{LlcModel, ModelSource};
+use crate::organization::CacheOrganization;
+use crate::technology::ProcessTech;
+
+/// What the organization search optimizes, mirroring NVSim's
+/// optimization-target knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizationTarget {
+    /// Minimize `t_read` (latency-critical LLC — the paper's setting).
+    #[default]
+    ReadLatency,
+    /// Minimize read energy-delay product.
+    ReadEdp,
+    /// Minimize total area.
+    Area,
+    /// Minimize leakage power.
+    Leakage,
+}
+
+/// Builds [`LlcModel`]s for a memory technology.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_cell::technologies;
+/// use nvm_llc_circuit::solve::CacheModeler;
+///
+/// let modeler = CacheModeler::new(technologies::zhang());
+/// let llc = modeler.model(2 * 1024 * 1024)?;
+/// assert!(llc.is_physical());
+/// assert!(llc.area.value() < 1.0); // 4 F² at 22 nm is tiny
+/// # Ok::<(), nvm_llc_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheModeler {
+    cell: CellParams,
+    block_bytes: u32,
+    associativity: u32,
+    target: OptimizationTarget,
+}
+
+impl CacheModeler {
+    /// Creates a modeler for `cell` with the paper's LLC geometry
+    /// (64 B blocks, 16-way).
+    pub fn new(cell: CellParams) -> Self {
+        CacheModeler {
+            cell,
+            block_bytes: 64,
+            associativity: 16,
+            target: OptimizationTarget::ReadLatency,
+        }
+    }
+
+    /// Overrides the block size (must be a power of two; checked when a
+    /// model is built).
+    pub fn block_bytes(mut self, bytes: u32) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Overrides the associativity.
+    pub fn associativity(mut self, ways: u32) -> Self {
+        self.associativity = ways;
+        self
+    }
+
+    /// Sets the design-space optimization target.
+    pub fn target(mut self, target: OptimizationTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// The cell being modeled.
+    pub fn cell(&self) -> &CellParams {
+        &self.cell
+    }
+
+    /// Models a cache of `capacity_bytes` using the default NVSim-like
+    /// organization heuristic (≈128 KiB data per mat, 4 banks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates organization and cell-completeness errors.
+    pub fn model(&self, capacity_bytes: u64) -> Result<LlcModel, CircuitError> {
+        self.model_with(&self.default_organization(capacity_bytes)?)
+    }
+
+    /// The default organization for a capacity: 4 banks (1 for small
+    /// caches), mats sized to hold ≈128 KiB of data each.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] variants for degenerate capacities.
+    pub fn default_organization(
+        &self,
+        capacity_bytes: u64,
+    ) -> Result<CacheOrganization, CircuitError> {
+        const TARGET_MAT_BYTES: u64 = 128 * 1024;
+        let banks: u32 = if capacity_bytes >= 4 * 1024 * 1024 { 4 } else { 2 };
+        let mats_total = (capacity_bytes / TARGET_MAT_BYTES).max(1);
+        let mats_per_bank = (mats_total / u64::from(banks)).max(1).next_power_of_two() as u32;
+        CacheOrganization::new(
+            capacity_bytes,
+            self.block_bytes,
+            self.associativity,
+            banks,
+            mats_per_bank,
+        )
+    }
+
+    /// Searches candidate organizations and returns the model minimizing
+    /// the configured [`OptimizationTarget`].
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NoFeasibleOrganization`] if no candidate fits.
+    pub fn solve_optimal(&self, capacity_bytes: u64) -> Result<LlcModel, CircuitError> {
+        let candidates =
+            CacheOrganization::candidates(capacity_bytes, self.block_bytes, self.associativity);
+        let mut best: Option<LlcModel> = None;
+        for org in &candidates {
+            let Ok(model) = self.model_with(org) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => self.score(&model) < self.score(b),
+            };
+            if better {
+                best = Some(model);
+            }
+        }
+        best.ok_or_else(|| {
+            CircuitError::NoFeasibleOrganization(format!(
+                "no organization for {capacity_bytes} B of {}",
+                self.cell.name()
+            ))
+        })
+    }
+
+    fn score(&self, m: &LlcModel) -> f64 {
+        match self.target {
+            OptimizationTarget::ReadLatency => m.read_latency.value(),
+            OptimizationTarget::ReadEdp => m.read_latency.value() * m.hit_energy.value(),
+            OptimizationTarget::Area => m.area.value(),
+            OptimizationTarget::Leakage => m.leakage.value(),
+        }
+    }
+
+    /// Models a cache with an explicit organization, applying equations
+    /// (4)–(8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell-completeness errors from the mat model.
+    pub fn model_with(&self, org: &CacheOrganization) -> Result<LlcModel, CircuitError> {
+        let cell = &self.cell;
+        let process = cell
+            .process()
+            .ok_or(CircuitError::IncompleteCell(
+                nvm_llc_cell::CellError::MissingParam {
+                    technology: cell.name().to_owned(),
+                    param: nvm_llc_cell::Param::Process,
+                },
+            ))?;
+        let tech = ProcessTech::at(process);
+        let mat = model_mat(cell, org)?;
+        let mats = org.total_mats();
+        let block_bits = org.block_bytes() * 8;
+
+        // --- Area -----------------------------------------------------------
+        let data_area = mat.area_mm2 * f64::from(mats);
+        let tag_area = data_area * org.tag_bits_total() as f64
+            / (org.capacity_bytes() as f64 * 8.0);
+        let area_mm2 = data_area + tag_area;
+
+        // --- H-tree and equations (4)/(5) ---------------------------------
+        let htree = model_htree(&tech, mats, area_mm2, block_bits);
+        let read_latency = Nanoseconds::new(2.0 * htree.latency_ns + mat.read_latency_ns);
+        let write_latency_set = Nanoseconds::new(htree.latency_ns + mat.write_latency_set_ns);
+        let write_latency_reset =
+            Nanoseconds::new(htree.latency_ns + mat.write_latency_reset_ns);
+
+        // --- Tag path -------------------------------------------------------
+        let tag_latency = self.tag_latency(&tech, org, area_mm2);
+        let tag_energy_nj = self.tag_energy_nj(&tech, org);
+
+        // --- Equations (6)–(8) ---------------------------------------------
+        let hit_energy = Nanojoules::new(tag_energy_nj + mat.read_energy_nj + htree.energy_nj);
+        let miss_energy = Nanojoules::new(tag_energy_nj);
+        let write_energy =
+            Nanojoules::new(tag_energy_nj + mat.write_energy_nj + htree.energy_nj);
+
+        // --- Leakage ----------------------------------------------------
+        let tag_leak_scale = 1.0 + org.tag_bits_total() as f64
+            / (org.capacity_bytes() as f64 * 8.0);
+        let leakage = Watts::new(mat.leakage_w * f64::from(mats) * tag_leak_scale);
+
+        Ok(LlcModel {
+            name: cell.name().to_owned(),
+            class: cell.class(),
+            capacity: Mebibytes::from_bytes(org.capacity_bytes()),
+            area: SquareMillimeters::new(area_mm2),
+            tag_latency,
+            read_latency,
+            write_latency_set,
+            write_latency_reset,
+            hit_energy,
+            miss_energy,
+            write_energy,
+            leakage,
+            source: ModelSource::Generated,
+        })
+    }
+
+    /// Tag lookup latency: set decode, tag sense, and comparison.
+    fn tag_latency(
+        &self,
+        tech: &ProcessTech,
+        org: &CacheOrganization,
+        area_mm2: f64,
+    ) -> Nanoseconds {
+        let decode = tech.decoder_delay_ns(org.sets());
+        let sense = tech.sense_ns * sense_multiplier(self.cell.class());
+        let compare = 2.0 * tech.fo4_ns;
+        // Tag macro sits by the port; charge a short wire, not the H-tree.
+        let wire = tech.wire_delay_ns(area_mm2.sqrt() * 0.25);
+        Nanoseconds::new(decode + sense + compare + wire)
+    }
+
+    /// Tag lookup energy (`E_dyn,tag`): decode plus sensing one set's tags.
+    fn tag_energy_nj(&self, tech: &ProcessTech, org: &CacheOrganization) -> f64 {
+        let bits = f64::from(org.associativity()) * f64::from(org.tag_bits_per_block());
+        let decode = tech.decoder_energy_pj(org.sets()) * 1e-3;
+        decode + bits * tech.sense_pj_per_bit * sense_multiplier(self.cell.class()) * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_cell::technologies;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn model_of(cell: CellParams) -> LlcModel {
+        CacheModeler::new(cell).model(2 * MB).unwrap()
+    }
+
+    #[test]
+    fn all_table_2_cells_produce_physical_2mb_models() {
+        for cell in technologies::all_nvms() {
+            let m = model_of(cell);
+            assert!(m.is_physical(), "{m}");
+            assert_eq!(m.capacity.value(), 2.0);
+        }
+    }
+
+    #[test]
+    fn sram_model_matches_table_3_ballpark() {
+        let m = model_of(technologies::sram_baseline());
+        // Table III SRAM: area 6.548 mm², tag 0.439 ns, read 1.234 ns,
+        // write 0.515 ns, leak 3.438 W. Accept ±50% for the analytical
+        // re-derivation.
+        assert!((m.area.value() - 6.548).abs() / 6.548 < 0.5, "{m}");
+        assert!((m.tag_latency.value() - 0.439).abs() / 0.439 < 0.5, "{m}");
+        assert!((m.read_latency.value() - 1.234).abs() / 1.234 < 0.6, "{m}");
+        assert!((m.leakage.value() - 3.438).abs() / 3.438 < 0.5, "{m}");
+    }
+
+    #[test]
+    fn pcram_write_energy_is_worst_in_class() {
+        // Table III: Kang_P and Oh_P have the two highest write energies.
+        let mut energies: Vec<(String, f64)> = technologies::all_nvms()
+            .into_iter()
+            .map(|c| {
+                let m = model_of(c);
+                (m.name.clone(), m.write_energy.value())
+            })
+            .collect();
+        energies.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top2: Vec<&str> = energies[..2].iter().map(|e| e.0.as_str()).collect();
+        assert!(top2.contains(&"Kang"), "{energies:?}");
+        assert!(top2.contains(&"Oh"), "{energies:?}");
+    }
+
+    #[test]
+    fn every_nvm_leaks_an_order_less_than_sram() {
+        let sram = model_of(technologies::sram_baseline());
+        for cell in technologies::all_nvms() {
+            let m = model_of(cell);
+            assert!(
+                m.leakage.value() < sram.leakage.value() / 3.0,
+                "{}: {} vs {}",
+                m.name,
+                m.leakage.value(),
+                sram.leakage.value()
+            );
+        }
+    }
+
+    #[test]
+    fn zhang_is_smallest_sram_write_is_fastest() {
+        let models: Vec<_> = technologies::all_nvms()
+            .into_iter()
+            .map(model_of)
+            .collect();
+        let sram = model_of(technologies::sram_baseline());
+        let min_area = models
+            .iter()
+            .min_by(|a, b| a.area.value().partial_cmp(&b.area.value()).unwrap())
+            .unwrap();
+        assert_eq!(min_area.name, "Zhang");
+        for m in &models {
+            assert!(m.write_latency().value() > sram.write_latency().value());
+        }
+    }
+
+    #[test]
+    fn equations_4_and_5_hold_structurally() {
+        // A read pays two H-tree traversals, a write one: for a slow-write
+        // cell the difference (t_write − pulse) < t_read must reflect that.
+        let m = model_of(technologies::xue());
+        // Write latency strips one H-tree traversal relative to read: the
+        // write path (1·htree + pulse + overhead) minus pulse must be less
+        // than the full read path.
+        assert!(m.write_latency_set.value() > 2.0); // ≥ pulse
+        assert!(m.read_latency.value() > m.tag_latency.value());
+    }
+
+    #[test]
+    fn solve_optimal_beats_or_matches_default_on_target() {
+        let modeler = CacheModeler::new(technologies::xue());
+        let default = modeler.model(2 * MB).unwrap();
+        let optimal = modeler.solve_optimal(2 * MB).unwrap();
+        assert!(optimal.read_latency.value() <= default.read_latency.value() + 1e-9);
+    }
+
+    #[test]
+    fn optimization_targets_trade_off() {
+        let area_opt = CacheModeler::new(technologies::chung())
+            .target(OptimizationTarget::Area)
+            .solve_optimal(2 * MB)
+            .unwrap();
+        let lat_opt = CacheModeler::new(technologies::chung())
+            .target(OptimizationTarget::ReadLatency)
+            .solve_optimal(2 * MB)
+            .unwrap();
+        assert!(area_opt.area.value() <= lat_opt.area.value() + 1e-12);
+        assert!(lat_opt.read_latency.value() <= area_opt.read_latency.value() + 1e-12);
+    }
+
+    #[test]
+    fn capacity_scales_area_and_leakage() {
+        let modeler = CacheModeler::new(technologies::hayakawa());
+        let small = modeler.model(2 * MB).unwrap();
+        let large = modeler.model(32 * MB).unwrap();
+        assert!(large.area.value() > 8.0 * small.area.value());
+        assert!(large.leakage.value() > small.leakage.value());
+        assert!(large.read_latency.value() > small.read_latency.value());
+    }
+
+    #[test]
+    fn incomplete_cells_error_cleanly() {
+        let modeler = CacheModeler::new(technologies::chung_reported());
+        assert!(matches!(
+            modeler.model(2 * MB),
+            Err(CircuitError::IncompleteCell(_))
+        ));
+    }
+
+    #[test]
+    fn mlc_reduces_area_versus_hypothetical_slc() {
+        // Xue stores 2 levels per cell; a 2 MB Xue cache uses half the
+        // cells of an SLC design, so its area must undercut Jan's despite
+        // a bigger cell at a similar node... (63 F² / 2 levels vs 50 F²).
+        let xue = model_of(technologies::xue());
+        let jan = model_of(technologies::jan());
+        assert!(xue.area.value() < jan.area.value());
+    }
+}

@@ -1,0 +1,138 @@
+//! Parameter sweeps over the cache design space.
+//!
+//! NVSim users explore geometry tradeoffs by editing config files and
+//! re-running; this module makes the common sweeps first-class: capacity,
+//! associativity, and block size against any cell model, returning the
+//! full [`LlcModel`] at every point so callers can plot latency, energy,
+//! area, or leakage curves (the `llc_design_space` example does).
+
+use nvm_llc_cell::CellParams;
+
+use crate::error::CircuitError;
+use crate::model::LlcModel;
+use crate::solve::CacheModeler;
+
+/// Sweeps power-of-two capacities in `[min_bytes, max_bytes]`.
+///
+/// # Errors
+///
+/// Propagates the first modeling failure.
+pub fn sweep_capacity(
+    cell: &CellParams,
+    min_bytes: u64,
+    max_bytes: u64,
+) -> Result<Vec<LlcModel>, CircuitError> {
+    let modeler = CacheModeler::new(cell.clone());
+    let mut out = Vec::new();
+    let mut capacity = min_bytes.max(1024).next_power_of_two();
+    while capacity <= max_bytes {
+        out.push(modeler.model(capacity)?);
+        capacity *= 2;
+    }
+    Ok(out)
+}
+
+/// Sweeps associativities at a fixed capacity.
+///
+/// # Errors
+///
+/// Propagates the first modeling failure.
+pub fn sweep_associativity(
+    cell: &CellParams,
+    capacity_bytes: u64,
+    ways: &[u32],
+) -> Result<Vec<(u32, LlcModel)>, CircuitError> {
+    ways.iter()
+        .map(|&w| {
+            let model = CacheModeler::new(cell.clone())
+                .associativity(w)
+                .model(capacity_bytes)?;
+            Ok((w, model))
+        })
+        .collect()
+}
+
+/// Sweeps block sizes at a fixed capacity.
+///
+/// # Errors
+///
+/// Propagates the first modeling failure.
+pub fn sweep_block_size(
+    cell: &CellParams,
+    capacity_bytes: u64,
+    block_bytes: &[u32],
+) -> Result<Vec<(u32, LlcModel)>, CircuitError> {
+    block_bytes
+        .iter()
+        .map(|&b| {
+            let model = CacheModeler::new(cell.clone())
+                .block_bytes(b)
+                .model(capacity_bytes)?;
+            Ok((b, model))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_cell::technologies;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn capacity_sweep_grows_area_monotonically() {
+        let models = sweep_capacity(&technologies::chung(), MB, 32 * MB).unwrap();
+        assert_eq!(models.len(), 6); // 1,2,4,8,16,32 MB
+        for pair in models.windows(2) {
+            assert!(pair[1].area.value() > pair[0].area.value());
+            assert!(pair[1].capacity.value() > pair[0].capacity.value());
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_latency_is_nondecreasing() {
+        let models = sweep_capacity(&technologies::zhang(), MB, 128 * MB).unwrap();
+        for pair in models.windows(2) {
+            assert!(
+                pair[1].read_latency.value() >= pair[0].read_latency.value() * 0.95,
+                "{} then {}",
+                pair[0].read_latency,
+                pair[1].read_latency
+            );
+        }
+    }
+
+    #[test]
+    fn associativity_sweep_raises_tag_energy() {
+        // More ways = more tags sensed per lookup (E_dyn,tag grows).
+        let points =
+            sweep_associativity(&technologies::xue(), 2 * MB, &[4, 8, 16, 32]).unwrap();
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].1.miss_energy.value() > pair[0].1.miss_energy.value(),
+                "{}-way {} vs {}-way {}",
+                pair[0].0,
+                pair[0].1.miss_energy,
+                pair[1].0,
+                pair[1].1.miss_energy
+            );
+        }
+    }
+
+    #[test]
+    fn block_size_sweep_raises_write_energy() {
+        // Bigger blocks = more bits per array write.
+        let points =
+            sweep_block_size(&technologies::kang(), 2 * MB, &[32, 64, 128]).unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].1.write_energy.value() > pair[0].1.write_energy.value());
+        }
+    }
+
+    #[test]
+    fn sweeps_reject_degenerate_geometry() {
+        // A 3-way associativity is not a power of two.
+        assert!(sweep_associativity(&technologies::xue(), 2 * MB, &[3]).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Process-technology constants used by the circuit model.
+//!
+//! The model is anchored at a 45 nm planar-CMOS node (the paper's SRAM
+//! baseline process) and scaled to other nodes with first-order
+//! constant-field scaling rules: gate delay shrinks roughly linearly with
+//! feature size, wire RC per unit length worsens as the cross-section
+//! shrinks, and subthreshold leakage per transistor grows at smaller
+//! nodes.
+
+use nvm_llc_cell::units::Nanometers;
+
+/// Anchor node for all scaling relations (the paper's SRAM baseline).
+pub const ANCHOR_NM: f64 = 45.0;
+
+/// FO4 inverter delay at the anchor node, in nanoseconds.
+pub const FO4_NS_AT_ANCHOR: f64 = 0.012;
+
+/// Global-layer wire resistance per millimeter at the anchor node, in ohms.
+pub const WIRE_RES_OHM_PER_MM_AT_ANCHOR: f64 = 400.0;
+
+/// Global-layer wire capacitance per millimeter, in picofarads
+/// (approximately node-independent).
+pub const WIRE_CAP_PF_PER_MM: f64 = 0.20;
+
+/// Energy to switch one millimeter of global wire at the anchor node, in
+/// picojoules (½·C·V² with V ≈ 1 V and driver/repeater overhead folded in).
+pub const WIRE_ENERGY_PJ_PER_MM_AT_ANCHOR: f64 = 0.15;
+
+/// Sense-amplifier resolve time at the anchor node, in nanoseconds.
+pub const SENSE_NS_AT_ANCHOR: f64 = 0.10;
+
+/// Per-bit sense + bitline dynamic energy at the anchor node, picojoules.
+pub const SENSE_PJ_PER_BIT_AT_ANCHOR: f64 = 0.020;
+
+/// SRAM cell leakage at the anchor node, in nanowatts per cell.
+///
+/// Calibrated so a 2 MB SRAM data+tag array at 45 nm leaks ≈ 3.4 W
+/// (Table III's SRAM row): 2 MiB = 16.8 M cells of data plus tags and
+/// periphery.
+pub const SRAM_CELL_LEAK_NW_AT_ANCHOR: f64 = 200.0;
+
+/// Peripheral (decoder/sense/driver) leakage per mat at the anchor node,
+/// in milliwatts. NVM arrays leak only through their periphery — the cells
+/// themselves hold state without power — which is why Table III's NVM
+/// leakage is one to two orders of magnitude below SRAM's.
+pub const PERIPHERY_LEAK_MW_PER_MAT_AT_ANCHOR: f64 = 6.0;
+
+/// A process node with derived electrical constants.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_circuit::technology::ProcessTech;
+/// use nvm_llc_cell::units::Nanometers;
+///
+/// let t45 = ProcessTech::at(Nanometers::new(45.0));
+/// let t22 = ProcessTech::at(Nanometers::new(22.0));
+/// // Gates get faster at smaller nodes, wires get slower per mm.
+/// assert!(t22.fo4_ns < t45.fo4_ns);
+/// assert!(t22.wire_res_ohm_per_mm > t45.wire_res_ohm_per_mm);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessTech {
+    /// The node this instance describes.
+    pub node: Nanometers,
+    /// FO4 inverter delay, ns.
+    pub fo4_ns: f64,
+    /// Wire resistance, Ω/mm.
+    pub wire_res_ohm_per_mm: f64,
+    /// Wire capacitance, pF/mm.
+    pub wire_cap_pf_per_mm: f64,
+    /// Wire switching energy, pJ/mm.
+    pub wire_energy_pj_per_mm: f64,
+    /// Sense-amplifier resolve time, ns.
+    pub sense_ns: f64,
+    /// Per-bit sense/bitline energy, pJ.
+    pub sense_pj_per_bit: f64,
+    /// SRAM cell leakage, nW/cell.
+    pub sram_cell_leak_nw: f64,
+    /// Peripheral leakage per mat, mW.
+    pub periphery_leak_mw_per_mat: f64,
+}
+
+impl ProcessTech {
+    /// Derives the constants for an arbitrary node from the 45 nm anchor.
+    ///
+    /// Scaling rules (first-order, as used by CACTI/NVSim-class tools):
+    ///
+    /// * gate/sense delay ∝ `s / 45`;
+    /// * wire resistance per mm ∝ `(45 / s)²` (cross-section shrinks in
+    ///   both dimensions);
+    /// * wire capacitance per mm constant; wire energy ∝ `s / 45`
+    ///   (supply voltage drops slowly with node);
+    /// * SRAM cell leakage per cell ∝ `(45 / s)` (lower Vt and thinner
+    ///   oxide at small nodes outweigh the smaller device);
+    /// * peripheral leakage per mat follows the same trend.
+    pub fn at(node: Nanometers) -> Self {
+        let s = node.value();
+        let shrink = s / ANCHOR_NM; // >1 for older/larger nodes
+        let grow = ANCHOR_NM / s; // >1 for newer/smaller nodes
+        ProcessTech {
+            node,
+            fo4_ns: FO4_NS_AT_ANCHOR * shrink,
+            wire_res_ohm_per_mm: WIRE_RES_OHM_PER_MM_AT_ANCHOR * grow * grow,
+            wire_cap_pf_per_mm: WIRE_CAP_PF_PER_MM,
+            wire_energy_pj_per_mm: WIRE_ENERGY_PJ_PER_MM_AT_ANCHOR * shrink,
+            sense_ns: SENSE_NS_AT_ANCHOR * shrink,
+            sense_pj_per_bit: SENSE_PJ_PER_BIT_AT_ANCHOR * shrink,
+            sram_cell_leak_nw: SRAM_CELL_LEAK_NW_AT_ANCHOR * grow,
+            periphery_leak_mw_per_mat: PERIPHERY_LEAK_MW_PER_MAT_AT_ANCHOR * grow,
+        }
+    }
+
+    /// Elmore delay of a repeated wire of `mm` millimeters, in nanoseconds.
+    ///
+    /// Repeater insertion linearizes RC growth with distance; we use the
+    /// standard `0.7·R·C` lumped estimate per repeated segment with 1 mm
+    /// segments.
+    pub fn wire_delay_ns(&self, mm: f64) -> f64 {
+        let segments = mm.max(0.0);
+        // Per-mm RC in (Ω · pF) = picoseconds; 0.7 factor for the Elmore
+        // step response; convert ps -> ns.
+        0.7 * self.wire_res_ohm_per_mm * self.wire_cap_pf_per_mm * segments * 1e-3
+    }
+
+    /// Energy to drive `mm` millimeters of wire carrying `bits` parallel
+    /// bits, in picojoules.
+    pub fn wire_energy_pj(&self, mm: f64, bits: u32) -> f64 {
+        self.wire_energy_pj_per_mm * mm.max(0.0) * f64::from(bits)
+    }
+
+    /// Delay of a decoder resolving `entries` rows: modeled as a chain of
+    /// `log2(entries)` 2-input stages of 2 FO4 each plus a wordline driver.
+    pub fn decoder_delay_ns(&self, entries: u64) -> f64 {
+        let stages = (entries.max(2) as f64).log2().ceil();
+        (2.0 * stages + 4.0) * self.fo4_ns
+    }
+
+    /// Dynamic energy of one decode of `entries` rows, in picojoules.
+    pub fn decoder_energy_pj(&self, entries: u64) -> f64 {
+        let stages = (entries.max(2) as f64).log2().ceil();
+        0.08 * stages * (self.node.value() / ANCHOR_NM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_node_reproduces_anchor_constants() {
+        let t = ProcessTech::at(Nanometers::new(45.0));
+        assert_eq!(t.fo4_ns, FO4_NS_AT_ANCHOR);
+        assert_eq!(t.wire_res_ohm_per_mm, WIRE_RES_OHM_PER_MM_AT_ANCHOR);
+        assert_eq!(t.sram_cell_leak_nw, SRAM_CELL_LEAK_NW_AT_ANCHOR);
+    }
+
+    #[test]
+    fn gate_delay_scales_linearly_with_node() {
+        let t90 = ProcessTech::at(Nanometers::new(90.0));
+        let t45 = ProcessTech::at(Nanometers::new(45.0));
+        assert!((t90.fo4_ns / t45.fo4_ns - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_resistance_scales_quadratically() {
+        let t22 = ProcessTech::at(Nanometers::new(22.5));
+        let t45 = ProcessTech::at(Nanometers::new(45.0));
+        assert!((t22.wire_res_ohm_per_mm / t45.wire_res_ohm_per_mm - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_delay_grows_with_distance() {
+        let t = ProcessTech::at(Nanometers::new(45.0));
+        assert!(t.wire_delay_ns(2.0) > t.wire_delay_ns(1.0));
+        assert_eq!(t.wire_delay_ns(0.0), 0.0);
+        assert_eq!(t.wire_delay_ns(-1.0), 0.0);
+    }
+
+    #[test]
+    fn decoder_delay_grows_logarithmically() {
+        let t = ProcessTech::at(Nanometers::new(45.0));
+        let d256 = t.decoder_delay_ns(256);
+        let d1024 = t.decoder_delay_ns(1024);
+        assert!(d1024 > d256);
+        // log2 growth: two extra stages of 2 FO4 each.
+        assert!((d1024 - d256 - 4.0 * t.fo4_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_grows_at_smaller_nodes() {
+        let t22 = ProcessTech::at(Nanometers::new(22.0));
+        let t90 = ProcessTech::at(Nanometers::new(90.0));
+        assert!(t22.sram_cell_leak_nw > t90.sram_cell_leak_nw);
+        assert!(t22.periphery_leak_mw_per_mat > t90.periphery_leak_mw_per_mat);
+    }
+
+    #[test]
+    fn wire_energy_scales_with_bits() {
+        let t = ProcessTech::at(Nanometers::new(45.0));
+        assert!((t.wire_energy_pj(1.0, 512) / t.wire_energy_pj(1.0, 1) - 512.0).abs() < 1e-9);
+    }
+}

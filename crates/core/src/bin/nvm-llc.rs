@@ -1,0 +1,134 @@
+//! `nvm-llc` — command-line front end for the paper-reproduction harness.
+//!
+//! ```text
+//! nvm-llc <artifact> [--scale smoke|default|full]
+//!
+//! artifacts:
+//!   table2 | table3 | table4 | table5 | table6
+//!   fig1 | fig2 | fig4 | sweep | lifetime | selection
+//!   all                  every artifact in paper order
+//!   cell <name>          print one technology's .cell model
+//!   characterize <bmk>   Table VI features for one workload
+//!   mrc <bmk>            reuse-distance miss-ratio curve
+//! ```
+
+use std::process::ExitCode;
+
+use nvm_llc::experiments::{
+    core_sweep, dl_extension, fig1, fig2, fig4, lifetime, selection, table2, table3, table4,
+    table5, table6,
+};
+use nvm_llc::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nvm-llc <artifact> [--scale smoke|default|full]\n\
+         artifacts: table2 table3 table4 table5 table6 fig1 fig2 fig4 sweep\n\
+         \x20          lifetime selection dl all | cell <name> | characterize <bmk> | mrc <bmk>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_scale(args: &[String]) -> Result<Scale, String> {
+    match args.iter().position(|a| a == "--scale") {
+        None => Ok(Scale::DEFAULT),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("smoke") => Ok(Scale::SMOKE),
+            Some("default") => Ok(Scale::DEFAULT),
+            Some("full") => Ok(Scale::FULL),
+            other => Err(format!("bad --scale value {other:?}")),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(artifact) = args.first() else {
+        return usage();
+    };
+    let scale = match parse_scale(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+
+    match artifact.as_str() {
+        "table2" => println!("{}", table2::run().render()),
+        "table3" => println!("{}", table3::run().render()),
+        "table4" => println!("{}", table4::render_default()),
+        "table5" => println!("{}", table5::run(scale).render()),
+        "table6" => println!("{}", table6::run(scale).render()),
+        "fig1" => println!("{}", fig1::run(scale).render()),
+        "fig2" => println!("{}", fig2::run(scale).render()),
+        "fig4" => println!("{}", fig4::run(scale).render()),
+        "sweep" => println!("{}", core_sweep::run(scale).render()),
+        "lifetime" => println!("{}", lifetime::run(scale).render()),
+        "selection" => println!("{}", selection::run(scale).render()),
+        "dl" => println!("{}", dl_extension::run(scale).render()),
+        "all" => {
+            println!("{}\n", table2::run().render());
+            println!("{}\n", table3::run().render());
+            println!("{}\n", table4::render_default());
+            println!("{}\n", table5::run(scale).render());
+            println!("{}\n", table6::run(scale).render());
+            println!("{}\n", fig1::run(scale).render());
+            println!("{}\n", fig2::run(scale).render());
+            println!("{}\n", core_sweep::run(scale).render());
+            println!("{}\n", fig4::run(scale).render());
+            println!("{}\n", lifetime::run(scale).render());
+            println!("{}\n", selection::run(scale).render());
+            println!("{}", dl_extension::run(scale).render());
+        }
+        "cell" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            match Catalog::paper().get(name) {
+                Ok(cell) => print!("{}", nvm_llc::cell::cellfile::to_string(cell)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "characterize" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let Some(workload) = workloads::by_name(name) else {
+                eprintln!("unknown workload `{name}`");
+                return ExitCode::FAILURE;
+            };
+            let trace =
+                workload.generate(scale.seed, workload.scaled_accesses(scale.base_accesses));
+            let features = profiler::characterize(workload.name(), &trace);
+            println!("{features}");
+        }
+        "mrc" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let Some(workload) = workloads::by_name(name) else {
+                eprintln!("unknown workload `{name}`");
+                return ExitCode::FAILURE;
+            };
+            let trace =
+                workload.generate(scale.seed, workload.scaled_accesses(scale.base_accesses));
+            let histogram = nvm_llc::prism::reuse::reuse_histogram(&trace);
+            println!("{name}: miss-ratio curve (fully-associative LRU)");
+            println!("{:>12} {:>12} {:>10}", "capacity", "blocks", "miss");
+            for (blocks, miss) in histogram.miss_ratio_curve(1 << 9, 1 << 21) {
+                println!(
+                    "{:>9} KB {:>12} {:>9.1}%",
+                    blocks * 64 / 1024,
+                    blocks,
+                    miss * 100.0
+                );
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! Table III — Gainestown LLC models: the paper's NVSim outputs
+//! (reference) next to this repository's analytical re-derivation
+//! (generated), for both fixed-capacity and fixed-area.
+
+use nvm_llc_cell::technologies;
+use nvm_llc_circuit::{fixed_area, reference, CacheModeler, LlcModel};
+
+use crate::tables::{num, TextTable};
+
+/// One technology's pair of models.
+#[derive(Debug, Clone)]
+pub struct ModelPair {
+    /// The paper's published model.
+    pub reference: LlcModel,
+    /// Our analytical model's output.
+    pub generated: LlcModel,
+}
+
+/// The full Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Fixed-capacity (2 MB) pairs, Table III column order, SRAM last.
+    pub fixed_capacity: Vec<ModelPair>,
+    /// Fixed-area (6.55 mm² budget) pairs.
+    pub fixed_area: Vec<ModelPair>,
+}
+
+/// Runs the Table III experiment: generate every model analytically and
+/// pair it with the paper's published row.
+///
+/// # Panics
+///
+/// Panics if a shipped technology fails to model — prevented by the
+/// circuit crate's tests.
+pub fn run() -> Table3 {
+    let mut cells = technologies::all_nvms();
+    cells.push(technologies::sram_baseline());
+
+    let ref_cap = reference::fixed_capacity();
+    let ref_area = reference::fixed_area();
+
+    let mut fixed_capacity = Vec::new();
+    let mut fixed_area_rows = Vec::new();
+    for cell in cells {
+        let name = cell.name().to_owned();
+        let modeler = CacheModeler::new(cell);
+        let generated_cap = modeler
+            .model(2 * 1024 * 1024)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let generated_area = fixed_area::paper_fixed_area_model(&modeler)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        fixed_capacity.push(ModelPair {
+            reference: reference::by_name(&ref_cap, &name).expect("reference row"),
+            generated: generated_cap,
+        });
+        fixed_area_rows.push(ModelPair {
+            reference: reference::by_name(&ref_area, &name).expect("reference row"),
+            generated: generated_area,
+        });
+    }
+    Table3 {
+        fixed_capacity,
+        fixed_area: fixed_area_rows,
+    }
+}
+
+fn render_block(title: &str, pairs: &[ModelPair]) -> String {
+    let mut headers = vec!["metric".to_owned()];
+    headers.extend(pairs.iter().map(|p| p.reference.display_name()));
+    let mut table = TextTable::new(headers);
+    type Getter = fn(&LlcModel) -> f64;
+    let metrics: [(&str, Getter); 8] = [
+        ("capacity [MB]", |m| m.capacity.value()),
+        ("area [mm^2]", |m| m.area.value()),
+        ("tag latency [ns]", |m| m.tag_latency.value()),
+        ("read latency [ns]", |m| m.read_latency.value()),
+        ("write latency [ns]", |m| m.write_latency().value()),
+        ("hit energy [nJ]", |m| m.hit_energy.value()),
+        ("write energy [nJ]", |m| m.write_energy.value()),
+        ("leakage [W]", |m| m.leakage.value()),
+    ];
+    for (label, get) in metrics {
+        let mut ref_row = vec![format!("{label} (paper)")];
+        ref_row.extend(pairs.iter().map(|p| num(get(&p.reference))));
+        table.row(ref_row);
+        let mut gen_row = vec![format!("{label} (ours)")];
+        gen_row.extend(pairs.iter().map(|p| num(get(&p.generated))));
+        table.row(gen_row);
+    }
+    format!("{title}\n{}", table.render())
+}
+
+impl Table3 {
+    /// Renders both blocks of Table III, paper and generated rows
+    /// interleaved per metric.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            render_block(
+                "Table III (top) — fixed-capacity LLC models (2 MB)",
+                &self.fixed_capacity
+            ),
+            render_block(
+                "Table III (bottom) — fixed-area LLC models (6.55 mm² budget)",
+                &self.fixed_area
+            ),
+        )
+    }
+
+    /// Geometric-mean ratio generated/reference for a metric across the
+    /// fixed-capacity block — the model-error summary EXPERIMENTS.md
+    /// records.
+    pub fn geomean_ratio(&self, get: fn(&LlcModel) -> f64) -> f64 {
+        let logs: Vec<f64> = self
+            .fixed_capacity
+            .iter()
+            .map(|p| (get(&p.generated) / get(&p.reference)).ln())
+            .collect();
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_cover_all_eleven_technologies() {
+        let t = run();
+        assert_eq!(t.fixed_capacity.len(), 11);
+        assert_eq!(t.fixed_area.len(), 11);
+        assert_eq!(t.fixed_capacity.last().unwrap().reference.name, "SRAM");
+    }
+
+    #[test]
+    fn generated_write_latency_geomean_within_2x() {
+        let t = run();
+        let r = t.geomean_ratio(|m| m.write_latency().value());
+        assert!((0.5..=2.0).contains(&r), "geomean ratio {r}");
+    }
+
+    #[test]
+    fn generated_leakage_geomean_within_3x() {
+        let t = run();
+        let r = t.geomean_ratio(|m| m.leakage.value());
+        assert!((1.0 / 3.0..=3.0).contains(&r), "geomean ratio {r}");
+    }
+
+    #[test]
+    fn render_shows_both_blocks_and_both_sources() {
+        let text = run().render();
+        assert!(text.contains("fixed-capacity"));
+        assert!(text.contains("fixed-area"));
+        assert!(text.contains("(paper)"));
+        assert!(text.contains("(ours)"));
+        assert!(text.contains("Zhang_R"));
+    }
+}

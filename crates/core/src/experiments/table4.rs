@@ -1,0 +1,88 @@
+//! Table IV — the simulated architecture, rendered from the live
+//! [`ArchConfig`] so the printout can never drift from what the simulator
+//! actually runs.
+
+use nvm_llc_circuit::reference;
+use nvm_llc_sim::ArchConfig;
+
+use crate::tables::TextTable;
+
+/// Renders Table IV for the given configuration.
+pub fn render(config: &ArchConfig) -> String {
+    let mut t = TextTable::new(vec!["component".into(), "configuration".into()]);
+    t.row(vec![
+        "uprocessor".into(),
+        format!(
+            "Xeon x5550 \"Gainestown\" {} GHz OoO, {}-core, 1 thread/core",
+            config.freq_ghz, config.cores
+        ),
+    ]);
+    t.row(vec![
+        "ROB".into(),
+        format!(
+            "{}-entry ROB, {}-entry load queue, {}-entry store queue",
+            config.rob_entries, config.load_queue, config.store_queue
+        ),
+    ]);
+    t.row(vec![
+        "L1D $".into(),
+        format!(
+            "private, {} KB, {}-way set associative, write-back",
+            config.l1d.capacity_bytes / 1024,
+            config.l1d.associativity
+        ),
+    ]);
+    t.row(vec![
+        "L2 $".into(),
+        format!(
+            "private, {} KB, {}-way set associative, write-back",
+            config.l2.capacity_bytes / 1024,
+            config.l2.associativity
+        ),
+    ]);
+    t.row(vec![
+        "L3 $".into(),
+        format!(
+            "shared, {} MB {}, 64B blocks, 16-way set associative, write-back",
+            config.llc.capacity.value(),
+            config.llc.display_name()
+        ),
+    ]);
+    t.row(vec![
+        "DRAM".into(),
+        format!(
+            "{} distributed controllers, {} GB/s per controller, {} ns",
+            config.dram_controllers, config.dram_bandwidth_gbs, config.dram_latency_ns
+        ),
+    ]);
+    format!("Table IV — simulated architecture\n{}", t.render())
+}
+
+/// Renders Table IV for the paper's default (SRAM-baseline quad-core).
+pub fn render_default() -> String {
+    render(&ArchConfig::gainestown(reference::sram_baseline()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_render_matches_table_4_values() {
+        let text = render_default();
+        assert!(text.contains("2.66 GHz"));
+        assert!(text.contains("4-core"));
+        assert!(text.contains("128-entry ROB"));
+        assert!(text.contains("48-entry load queue"));
+        assert!(text.contains("32 KB"));
+        assert!(text.contains("256 KB"));
+        assert!(text.contains("2 MB"));
+        assert!(text.contains("7.6 GB/s"));
+    }
+
+    #[test]
+    fn render_tracks_config_changes() {
+        let config = ArchConfig::gainestown(reference::sram_baseline()).with_cores(16);
+        assert!(render(&config).contains("16-core"));
+    }
+}

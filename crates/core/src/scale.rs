@@ -1,0 +1,60 @@
+//! Experiment scale: how much trace each run replays.
+//!
+//! The paper simulates full benchmark executions; this reproduction
+//! replays synthetic traces whose length is a tunable budget so the whole
+//! evaluation fits in minutes on a laptop (`cargo bench`) while tests run
+//! in seconds.
+
+/// Trace-length budget for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Base memory accesses per thread (each workload additionally scales
+    /// this by its relative volume).
+    pub base_accesses: usize,
+    /// Trace generation seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Tiny runs for unit/integration tests (seconds, debug profile).
+    pub const SMOKE: Scale = Scale {
+        base_accesses: 8_000,
+        seed: 2019,
+    };
+
+    /// The default evaluation budget used by the benches.
+    pub const DEFAULT: Scale = Scale {
+        base_accesses: 200_000,
+        seed: 2019,
+    };
+
+    /// A long run for final numbers.
+    pub const FULL: Scale = Scale {
+        base_accesses: 600_000,
+        seed: 2019,
+    };
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::SMOKE.base_accesses < Scale::DEFAULT.base_accesses);
+        assert!(Scale::DEFAULT.base_accesses < Scale::FULL.base_accesses);
+        assert_eq!(Scale::default(), Scale::DEFAULT);
+    }
+
+    #[test]
+    fn all_scales_share_the_paper_seed() {
+        assert_eq!(Scale::SMOKE.seed, 2019);
+        assert_eq!(Scale::FULL.seed, 2019);
+    }
+}

@@ -1,0 +1,170 @@
+//! Plain-text table rendering shared by every experiment.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (names, labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc::tables::TextTable;
+///
+/// let mut t = TextTable::new(vec!["tech".into(), "energy".into()]);
+/// t.row(vec!["Jan_S".into(), "0.19".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Jan_S"));
+/// assert!(s.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, rule, rows. The first column is
+    /// left-aligned, the rest right-aligned (label + numbers convention).
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(display_width(h));
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(display_width(cell));
+            }
+        }
+        let mut out = String::new();
+        self.render_row(&mut out, &self.headers, &widths);
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            self.render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    fn render_row(&self, out: &mut String, cells: &[String], widths: &[usize]) {
+        let mut parts = Vec::with_capacity(widths.len());
+        for (i, width) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            let align = if i == 0 { Align::Left } else { Align::Right };
+            let pad = width.saturating_sub(display_width(cell));
+            let padded = match align {
+                Align::Left => format!("{cell}{}", " ".repeat(pad)),
+                Align::Right => format!("{}{cell}", " ".repeat(pad)),
+            };
+            parts.push(padded);
+        }
+        let _ = writeln!(out, "{}", parts.join(" | "));
+    }
+}
+
+/// Character-count width (the tables only use ASCII plus a few shading
+/// glyphs that are one display column each).
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+/// Formats a float compactly: 3 significant-ish decimals, stripping noise.
+pub fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".to_owned();
+    }
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        // Numbers right-aligned: "1" ends its column.
+        assert!(lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn num_formatting_bands() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.123456), "0.123");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1234.5), "1234");
+        assert_eq!(num(f64::NAN), "—");
+    }
+}

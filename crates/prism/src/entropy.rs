@@ -1,0 +1,162 @@
+//! Shannon memory entropy (paper Section IV-B, equation (9)).
+//!
+//! *Global* memory entropy is computed over full addresses and captures
+//! temporal locality: a workload that hammers few addresses has low
+//! entropy. *Local* memory entropy skips the `M` lowest-order address
+//! bits (the paper uses `M = 10`, reflecting page granularity) and
+//! captures spatial locality of address-space regions.
+
+use std::collections::HashMap;
+
+/// The paper's choice of skipped low-order bits for local entropy.
+pub const LOCAL_ENTROPY_SKIP_BITS: u32 = 10;
+
+/// Accumulates an address stream and yields its Shannon entropy.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_prism::entropy::EntropyAccumulator;
+///
+/// let mut acc = EntropyAccumulator::new();
+/// for addr in [0u64, 64, 128, 192] {
+///     acc.record(addr);
+/// }
+/// assert!((acc.entropy_bits() - 2.0).abs() < 1e-12); // 4 equiprobable symbols
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EntropyAccumulator {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl EntropyAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `symbol` (an address, or an address with
+    /// low bits dropped).
+    pub fn record(&mut self, symbol: u64) {
+        *self.counts.entry(symbol).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded symbols (with multiplicity).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct symbols.
+    pub fn unique(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Shannon entropy in bits (equation (9)):
+    /// `H = -Σ p(xᵢ) log₂ p(xᵢ)`.
+    ///
+    /// Returns 0 for an empty stream.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        -self
+            .counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// The per-symbol counts, for footprint analyses.
+    pub fn counts(&self) -> &HashMap<u64, u64> {
+        &self.counts
+    }
+}
+
+/// Computes global entropy of an address iterator in one pass.
+pub fn global_entropy<I: IntoIterator<Item = u64>>(addresses: I) -> f64 {
+    let mut acc = EntropyAccumulator::new();
+    for a in addresses {
+        acc.record(a);
+    }
+    acc.entropy_bits()
+}
+
+/// Computes local entropy: addresses with the lowest
+/// [`LOCAL_ENTROPY_SKIP_BITS`] bits dropped before accumulation.
+pub fn local_entropy<I: IntoIterator<Item = u64>>(addresses: I) -> f64 {
+    let mut acc = EntropyAccumulator::new();
+    for a in addresses {
+        acc.record(a >> LOCAL_ENTROPY_SKIP_BITS);
+    }
+    acc.entropy_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_has_zero_entropy() {
+        assert_eq!(EntropyAccumulator::new().entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn single_symbol_has_zero_entropy() {
+        let mut acc = EntropyAccumulator::new();
+        for _ in 0..100 {
+            acc.record(42);
+        }
+        assert_eq!(acc.entropy_bits(), 0.0);
+        assert_eq!(acc.unique(), 1);
+        assert_eq!(acc.total(), 100);
+    }
+
+    #[test]
+    fn uniform_over_2k_symbols_is_k_bits() {
+        for k in [1u32, 4, 8] {
+            let h = global_entropy(0..(1u64 << k));
+            assert!((h - f64::from(k)).abs() < 1e-9, "k={k}, h={h}");
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_has_lower_entropy_than_uniform() {
+        let mut skew = EntropyAccumulator::new();
+        for i in 0..1000u64 {
+            skew.record(if i % 10 == 0 { i } else { 0 });
+        }
+        let uniform = global_entropy(0..1000u64);
+        assert!(skew.entropy_bits() < uniform);
+    }
+
+    #[test]
+    fn local_entropy_collapses_nearby_addresses() {
+        // 1024 consecutive bytes fall in ≤ 2 pages of 1 KiB.
+        let addrs: Vec<u64> = (0..1024u64).collect();
+        let global = global_entropy(addrs.iter().copied());
+        let local = local_entropy(addrs.iter().copied());
+        assert!(global > 9.9);
+        assert!(local < 1.0, "{local}");
+    }
+
+    #[test]
+    fn local_entropy_preserves_far_addresses() {
+        // Addresses a page apart stay distinct under the 10-bit skip.
+        let addrs: Vec<u64> = (0..256u64).map(|i| i << 10).collect();
+        let local = local_entropy(addrs.iter().copied());
+        assert!((local - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_is_permutation_invariant() {
+        let a = global_entropy([1u64, 2, 3, 1, 2, 1]);
+        let b = global_entropy([1u64, 1, 1, 2, 2, 3]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

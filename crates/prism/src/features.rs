@@ -1,0 +1,190 @@
+//! The architecture-agnostic feature vector (the columns of Table VI).
+
+use std::fmt;
+use std::ops::Index;
+
+/// One of the ten Table VI features, split by reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FeatureKind {
+    /// `H_rg` — global read entropy, bits.
+    GlobalReadEntropy,
+    /// `H_rl` — local read entropy, bits.
+    LocalReadEntropy,
+    /// `H_wg` — global write entropy, bits.
+    GlobalWriteEntropy,
+    /// `H_wl` — local write entropy, bits.
+    LocalWriteEntropy,
+    /// `r_uniq` — unique read addresses.
+    UniqueReads,
+    /// `w_uniq` — unique write addresses.
+    UniqueWrites,
+    /// `90% ft_r` — 90% read footprint.
+    ReadFootprint90,
+    /// `90% ft_w` — 90% write footprint.
+    WriteFootprint90,
+    /// `r_total` — total reads.
+    TotalReads,
+    /// `w_total` — total writes.
+    TotalWrites,
+}
+
+impl FeatureKind {
+    /// All features in Table VI column order.
+    pub const ALL: [FeatureKind; 10] = [
+        FeatureKind::GlobalReadEntropy,
+        FeatureKind::LocalReadEntropy,
+        FeatureKind::GlobalWriteEntropy,
+        FeatureKind::LocalWriteEntropy,
+        FeatureKind::UniqueReads,
+        FeatureKind::UniqueWrites,
+        FeatureKind::ReadFootprint90,
+        FeatureKind::WriteFootprint90,
+        FeatureKind::TotalReads,
+        FeatureKind::TotalWrites,
+    ];
+
+    /// The write-side features the paper finds predictive for AI
+    /// workloads (Section VI).
+    pub const WRITE_FEATURES: [FeatureKind; 5] = [
+        FeatureKind::GlobalWriteEntropy,
+        FeatureKind::LocalWriteEntropy,
+        FeatureKind::UniqueWrites,
+        FeatureKind::WriteFootprint90,
+        FeatureKind::TotalWrites,
+    ];
+
+    /// Table VI's column header for this feature.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureKind::GlobalReadEntropy => "H_rg",
+            FeatureKind::LocalReadEntropy => "H_rl",
+            FeatureKind::GlobalWriteEntropy => "H_wg",
+            FeatureKind::LocalWriteEntropy => "H_wl",
+            FeatureKind::UniqueReads => "r_uniq",
+            FeatureKind::UniqueWrites => "w_uniq",
+            FeatureKind::ReadFootprint90 => "90%ft_r",
+            FeatureKind::WriteFootprint90 => "90%ft_w",
+            FeatureKind::TotalReads => "r_total",
+            FeatureKind::TotalWrites => "w_total",
+        }
+    }
+
+    /// Index of this feature in [`FeatureKind::ALL`].
+    pub fn index(self) -> usize {
+        FeatureKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is in ALL")
+    }
+
+    /// Whether this feature describes the write stream.
+    pub fn is_write_feature(self) -> bool {
+        FeatureKind::WRITE_FEATURES.contains(&self)
+    }
+}
+
+impl fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named feature vector: one row of Table VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    name: String,
+    values: [f64; 10],
+}
+
+impl FeatureVector {
+    /// Builds a feature vector for workload `name` with values in
+    /// [`FeatureKind::ALL`] order.
+    pub fn new(name: impl Into<String>, values: [f64; 10]) -> Self {
+        FeatureVector {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Value of one feature.
+    pub fn get(&self, kind: FeatureKind) -> f64 {
+        self.values[kind.index()]
+    }
+
+    /// All values in [`FeatureKind::ALL`] order.
+    pub fn values(&self) -> &[f64; 10] {
+        &self.values
+    }
+
+    /// Iterates `(kind, value)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureKind, f64)> + '_ {
+        FeatureKind::ALL.iter().map(|k| (*k, self.values[k.index()]))
+    }
+}
+
+impl Index<FeatureKind> for FeatureVector {
+    type Output = f64;
+
+    fn index(&self, kind: FeatureKind) -> &f64 {
+        &self.values[kind.index()]
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for (kind, value) in self.iter() {
+            write!(f, " {kind}={value:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_ten_distinct_features() {
+        let mut labels: Vec<_> = FeatureKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, k) in FeatureKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn write_features_are_flagged() {
+        assert!(FeatureKind::GlobalWriteEntropy.is_write_feature());
+        assert!(!FeatureKind::GlobalReadEntropy.is_write_feature());
+        assert_eq!(FeatureKind::WRITE_FEATURES.len(), 5);
+    }
+
+    #[test]
+    fn vector_access_by_kind_and_index_agree() {
+        let v = FeatureVector::new("w", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(v.get(FeatureKind::GlobalReadEntropy), 1.0);
+        assert_eq!(v[FeatureKind::TotalWrites], 10.0);
+        assert_eq!(v.iter().count(), 10);
+        assert_eq!(v.name(), "w");
+    }
+
+    #[test]
+    fn display_prints_labels() {
+        let v = FeatureVector::new("w", [0.0; 10]);
+        let s = v.to_string();
+        assert!(s.contains("H_rg"));
+        assert!(s.contains("w_total"));
+    }
+}

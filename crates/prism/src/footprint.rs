@@ -1,0 +1,102 @@
+//! Unique-address and 90%-footprint metrics (paper Section IV-B).
+//!
+//! * *Unique reads/writes* — the number of distinct addresses touched, a
+//!   proxy for total address-space size.
+//! * *90% memory footprint* — the number of hottest unique addresses that
+//!   together absorb 90% of all accesses: the paper's working-set
+//!   estimate. Computed by sorting addresses by access count, descending,
+//!   and accumulating until 90% of accesses are covered.
+
+use std::collections::HashMap;
+
+/// Fraction of accesses the working-set estimate must cover.
+pub const FOOTPRINT_COVERAGE: f64 = 0.9;
+
+/// Address-stream statistics for one access kind (reads or writes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FootprintStats {
+    /// Distinct addresses touched.
+    pub unique: u64,
+    /// Hottest-address count covering 90% of accesses.
+    pub footprint_90: u64,
+    /// Total accesses.
+    pub total: u64,
+}
+
+/// Computes footprint statistics from per-address access counts.
+pub fn from_counts(counts: &HashMap<u64, u64>) -> FootprintStats {
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return FootprintStats::default();
+    }
+    let mut sorted: Vec<u64> = counts.values().copied().collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let target = (total as f64 * FOOTPRINT_COVERAGE).ceil() as u64;
+    let mut covered = 0u64;
+    let mut footprint_90 = 0u64;
+    for c in sorted {
+        covered += c;
+        footprint_90 += 1;
+        if covered >= target {
+            break;
+        }
+    }
+    FootprintStats {
+        unique: counts.len() as u64,
+        footprint_90,
+        total,
+    }
+}
+
+/// One-pass convenience over an address iterator.
+pub fn of_stream<I: IntoIterator<Item = u64>>(addresses: I) -> FootprintStats {
+    let mut counts = HashMap::new();
+    for a in addresses {
+        *counts.entry(a).or_insert(0u64) += 1;
+    }
+    from_counts(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        assert_eq!(of_stream(std::iter::empty()), FootprintStats::default());
+    }
+
+    #[test]
+    fn uniform_stream_needs_90_percent_of_addresses() {
+        let s = of_stream(0..100u64);
+        assert_eq!(s.unique, 100);
+        assert_eq!(s.total, 100);
+        assert_eq!(s.footprint_90, 90);
+    }
+
+    #[test]
+    fn hot_address_shrinks_working_set() {
+        // One address takes 95 of 100 accesses: it alone covers 90%.
+        let mut v: Vec<u64> = vec![7; 95];
+        v.extend(100..105u64);
+        let s = of_stream(v);
+        assert_eq!(s.unique, 6);
+        assert_eq!(s.footprint_90, 1);
+    }
+
+    #[test]
+    fn boundary_coverage_uses_ceiling() {
+        // 10 accesses: target = 9. Two addresses with 5 each -> 2 needed.
+        let v = vec![1u64, 1, 1, 1, 1, 2, 2, 2, 2, 2];
+        let s = of_stream(v);
+        assert_eq!(s.footprint_90, 2);
+    }
+
+    #[test]
+    fn footprint_never_exceeds_unique() {
+        let v: Vec<u64> = (0..1000).map(|i| i % 37).collect();
+        let s = of_stream(v);
+        assert!(s.footprint_90 <= s.unique);
+        assert_eq!(s.unique, 37);
+    }
+}

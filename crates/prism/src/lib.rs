@@ -1,0 +1,86 @@
+//! # nvm-llc-prism — architecture-agnostic workload characterization
+//!
+//! The PRISM role in the paper's pipeline (Section IV-B): profile a
+//! memory trace into architecture-agnostic features — global/local
+//! Shannon entropy, unique address footprint, 90% footprint, and total
+//! accesses — computed separately for reads and writes so the NVM
+//! read/write asymmetry can be correlated against workload behaviour.
+//!
+//! ```
+//! use nvm_llc_trace::workloads;
+//! use nvm_llc_prism::{profiler, FeatureKind};
+//!
+//! let trace = workloads::by_name("cg").unwrap().generate(7, 20_000);
+//! let features = profiler::characterize("cg", &trace);
+//! // cg is nearly write-free (Table VI: 0.73 G reads vs 0.04 G writes).
+//! assert!(features[FeatureKind::TotalReads] > 10.0 * features[FeatureKind::TotalWrites]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod entropy;
+pub mod features;
+pub mod footprint;
+pub mod profiler;
+pub mod reference;
+pub mod reuse;
+pub mod spatial;
+pub mod window;
+
+pub use entropy::{EntropyAccumulator, LOCAL_ENTROPY_SKIP_BITS};
+pub use features::{FeatureKind, FeatureVector};
+pub use footprint::FootprintStats;
+pub use window::{phase_boundaries, windowed_profile, WindowStats};
+pub use reuse::{reuse_histogram, ReuseHistogram};
+pub use spatial::{stride_profile, StrideProfile};
+
+#[cfg(test)]
+mod proptests {
+    use crate::entropy::EntropyAccumulator;
+    use crate::footprint;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Entropy is bounded by log2(unique symbols).
+        #[test]
+        fn entropy_upper_bound(symbols in proptest::collection::vec(0u64..64, 1..500)) {
+            let mut acc = EntropyAccumulator::new();
+            for s in &symbols {
+                acc.record(*s);
+            }
+            let bound = (acc.unique() as f64).log2();
+            prop_assert!(acc.entropy_bits() <= bound + 1e-9);
+            prop_assert!(acc.entropy_bits() >= -1e-12);
+        }
+
+        /// The 90% footprint is monotone: it never exceeds the unique
+        /// count and never undershoots 90% coverage.
+        #[test]
+        fn footprint_invariants(symbols in proptest::collection::vec(0u64..128, 1..500)) {
+            let s = footprint::of_stream(symbols.iter().copied());
+            prop_assert!(s.footprint_90 >= 1);
+            prop_assert!(s.footprint_90 <= s.unique);
+            prop_assert_eq!(s.total, symbols.len() as u64);
+        }
+
+        /// Adding a duplicate of the hottest symbol never increases the
+        /// 90% footprint.
+        #[test]
+        fn footprint_monotone_under_hot_duplication(
+            symbols in proptest::collection::vec(0u64..64, 2..300),
+        ) {
+            let base = footprint::of_stream(symbols.iter().copied());
+            // Find the hottest symbol.
+            let mut counts = std::collections::HashMap::new();
+            for s in &symbols {
+                *counts.entry(*s).or_insert(0u64) += 1;
+            }
+            let hottest = *counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
+            let mut more = symbols.clone();
+            more.extend(std::iter::repeat(hottest).take(symbols.len()));
+            let grown = footprint::of_stream(more.into_iter());
+            prop_assert!(grown.footprint_90 <= base.footprint_90);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Trace characterization: from a [`Trace`] to a [`FeatureVector`].
+//!
+//! This is the PRISM role in the paper's pipeline: profile a workload's
+//! memory behaviour into architecture-agnostic features, reads and writes
+//! separated to expose the NVM read/write asymmetry.
+
+use nvm_llc_trace::Trace;
+
+use crate::entropy::{EntropyAccumulator, LOCAL_ENTROPY_SKIP_BITS};
+use crate::features::FeatureVector;
+use crate::footprint;
+
+/// Characterizes a trace into the ten Table VI features.
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_trace::workloads;
+/// use nvm_llc_prism::profiler::characterize;
+/// use nvm_llc_prism::FeatureKind;
+///
+/// let trace = workloads::by_name("leela").unwrap().generate(1, 20_000);
+/// let features = characterize("leela", &trace);
+/// assert!(features[FeatureKind::TotalReads] > features[FeatureKind::TotalWrites]);
+/// ```
+pub fn characterize(name: impl Into<String>, trace: &Trace) -> FeatureVector {
+    let mut read_global = EntropyAccumulator::new();
+    let mut read_local = EntropyAccumulator::new();
+    let mut write_global = EntropyAccumulator::new();
+    let mut write_local = EntropyAccumulator::new();
+
+    for event in trace {
+        if event.kind.is_read() {
+            read_global.record(event.addr);
+            read_local.record(event.addr >> LOCAL_ENTROPY_SKIP_BITS);
+        } else {
+            write_global.record(event.addr);
+            write_local.record(event.addr >> LOCAL_ENTROPY_SKIP_BITS);
+        }
+    }
+
+    let read_fp = footprint::from_counts(read_global.counts());
+    let write_fp = footprint::from_counts(write_global.counts());
+
+    FeatureVector::new(
+        name,
+        [
+            read_global.entropy_bits(),
+            read_local.entropy_bits(),
+            write_global.entropy_bits(),
+            write_local.entropy_bits(),
+            read_fp.unique as f64,
+            write_fp.unique as f64,
+            read_fp.footprint_90 as f64,
+            write_fp.footprint_90 as f64,
+            read_fp.total as f64,
+            write_fp.total as f64,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureKind as F;
+    use nvm_llc_trace::workloads;
+
+    fn features_of(name: &str, n: usize) -> FeatureVector {
+        let w = workloads::by_name(name).unwrap();
+        // Scale like the experiment harness does (relative volume, split
+        // across threads) so single- and multi-threaded workloads are
+        // compared over similar event totals.
+        characterize(name, &w.generate(11, w.scaled_accesses(n)))
+    }
+
+    #[test]
+    fn totals_match_trace_counts() {
+        let w = workloads::by_name("ft").unwrap();
+        let t = w.generate(3, 10_000);
+        let f = characterize("ft", &t);
+        assert_eq!(f[F::TotalReads] as u64, t.reads());
+        assert_eq!(f[F::TotalWrites] as u64, t.writes());
+    }
+
+    #[test]
+    fn local_entropy_never_exceeds_global() {
+        for name in ["bzip2", "cg", "exchange2", "GemsFDTD"] {
+            let f = features_of(name, 30_000);
+            assert!(f[F::LocalReadEntropy] <= f[F::GlobalReadEntropy] + 1e-9, "{name}");
+            assert!(f[F::LocalWriteEntropy] <= f[F::GlobalWriteEntropy] + 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn footprint_90_never_exceeds_unique() {
+        for name in ["deepsjeng", "tonto", "mg"] {
+            let f = features_of(name, 30_000);
+            assert!(f[F::ReadFootprint90] <= f[F::UniqueReads], "{name}");
+            assert!(f[F::WriteFootprint90] <= f[F::UniqueWrites], "{name}");
+        }
+    }
+
+    #[test]
+    fn gems_fdtd_has_the_largest_working_set_shape() {
+        // Table VI: GemsFDTD's 90% footprints dwarf the other workloads'.
+        // Trace lengths differ per workload (relative volume), so compare
+        // the footprint *rate* — working set touched per read — which is
+        // the Gems signature: it streams fresh memory nearly constantly,
+        // while the hot-set workloads keep revisiting a small core.
+        let rate = |f: &FeatureVector| f[F::ReadFootprint90] / f[F::TotalReads].max(1.0);
+        let gems = features_of("GemsFDTD", 60_000);
+        for other in ["tonto", "leela", "exchange2", "ep"] {
+            let f = features_of(other, 60_000);
+            assert!(
+                rate(&gems) > 1.8 * rate(&f),
+                "{other}: {} vs {}",
+                rate(&gems),
+                rate(&f)
+            );
+        }
+    }
+
+    #[test]
+    fn exchange2_has_smallest_unique_but_among_highest_totals() {
+        // Table VI's exchange2 signature: tiny unique footprint.
+        let ex = features_of("exchange2", 60_000);
+        let bzip2 = features_of("bzip2", 60_000);
+        let deepsjeng = features_of("deepsjeng", 60_000);
+        assert!(ex[F::UniqueReads] < bzip2[F::UniqueReads]);
+        assert!(ex[F::UniqueReads] < deepsjeng[F::UniqueReads]);
+        // Low entropy follows from the small footprint.
+        assert!(ex[F::GlobalReadEntropy] < deepsjeng[F::GlobalReadEntropy]);
+    }
+
+    #[test]
+    fn x264_is_read_heavy_with_narrow_writes() {
+        // Table VI: x264 write 90% footprint is ~3 orders below reads'.
+        let f = features_of("x264", 60_000);
+        assert!(f[F::TotalReads] > 4.0 * f[F::TotalWrites]);
+        assert!(f[F::WriteFootprint90] * 4.0 < f[F::ReadFootprint90]);
+        assert!(f[F::GlobalWriteEntropy] < f[F::GlobalReadEntropy]);
+    }
+
+    #[test]
+    fn deepsjeng_entropy_exceeds_leela() {
+        // Bigger, colder footprint -> higher global entropy (Table VI:
+        // 11.31 vs 10.13 bits).
+        let d = features_of("deepsjeng", 60_000);
+        let l = features_of("leela", 60_000);
+        assert!(d[F::GlobalReadEntropy] > l[F::GlobalReadEntropy]);
+    }
+
+    #[test]
+    fn empty_trace_characterizes_to_zeros() {
+        let t = nvm_llc_trace::Trace::new(vec![], 1);
+        let f = characterize("empty", &t);
+        for (_, v) in f.iter() {
+            assert_eq!(v, 0.0);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Reuse-distance (LRU stack distance) analysis and miss-ratio curves.
+//!
+//! The stack distance of an access is the number of *distinct* blocks
+//! touched since the previous access to the same block. Under LRU, an
+//! access hits a fully-associative cache of `C` blocks iff its stack
+//! distance is `< C` — so one histogram predicts the miss ratio of
+//! *every* capacity at once. This is the classic tool behind the paper's
+//! working-set reasoning (fixed-area capacity choices, Section IV-C): it
+//! shows exactly where a workload's miss curve falls off and therefore
+//! which NVM capacity buys performance.
+//!
+//! The implementation is an exact O(n log n) computation using a
+//! Fenwick (binary-indexed) tree over access timestamps.
+
+use std::collections::HashMap;
+
+use nvm_llc_trace::Trace;
+
+/// Marker distance for cold (first-touch) accesses.
+pub const COLD: u64 = u64::MAX;
+
+/// A reuse-distance histogram over 64 B blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseHistogram {
+    /// `counts[d]` = accesses with stack distance in `[2^d, 2^(d+1))`
+    /// (bucket 0 holds distance 0 — immediate re-reference).
+    buckets: Vec<u64>,
+    /// First-touch (cold) accesses.
+    cold: u64,
+    /// Total accesses.
+    total: u64,
+}
+
+/// Fenwick tree for prefix sums over timestamps.
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Computes the exact LRU stack-distance histogram of a trace's block
+/// stream (all threads interleaved, as they share the LLC).
+pub fn reuse_histogram(trace: &Trace) -> ReuseHistogram {
+    let n = trace.len();
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    let mut fenwick = Fenwick::new(n);
+    let mut buckets = vec![0u64; 40];
+    let mut cold = 0u64;
+
+    for (t, event) in trace.iter().enumerate() {
+        let block = event.block();
+        match last_seen.insert(block, t) {
+            None => {
+                cold += 1;
+            }
+            Some(prev) => {
+                // Each distinct block is marked at its most recent access
+                // position, so the stack distance is the number of marks
+                // strictly between `prev` and `t` — inclusive prefix sums
+                // give `prefix(t-1) - prefix(prev)` (the mark at `prev`
+                // itself is the block's own and is excluded by the
+                // subtraction).
+                let distance = fenwick.prefix(t - 1) - fenwick.prefix(prev);
+                buckets[bucket_of(distance)] += 1;
+                // The block's old position no longer marks it.
+                fenwick.add(prev, -1);
+            }
+        }
+        fenwick.add(t, 1);
+    }
+
+    ReuseHistogram {
+        buckets,
+        cold,
+        total: n as u64,
+    }
+}
+
+/// Power-of-two bucket index of a distance.
+fn bucket_of(distance: u64) -> usize {
+    if distance == 0 {
+        0
+    } else {
+        (64 - distance.leading_zeros()) as usize
+    }
+}
+
+impl ReuseHistogram {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Accesses with stack distance < `capacity_blocks` — the hits of a
+    /// fully-associative LRU cache of that size.
+    pub fn hits_at(&self, capacity_blocks: u64) -> u64 {
+        if capacity_blocks == 0 {
+            return 0;
+        }
+        // Sum whole buckets below the capacity's bucket; the straddling
+        // bucket is apportioned linearly.
+        let cap_bucket = bucket_of(capacity_blocks);
+        let mut hits: u64 = self.buckets[..cap_bucket.min(self.buckets.len())]
+            .iter()
+            .sum();
+        if cap_bucket < self.buckets.len() {
+            let lo = if cap_bucket == 0 { 0 } else { 1u64 << (cap_bucket - 1) };
+            let hi = 1u64 << cap_bucket;
+            let frac = (capacity_blocks.saturating_sub(lo)) as f64 / (hi - lo) as f64;
+            hits += (self.buckets[cap_bucket] as f64 * frac) as u64;
+        }
+        hits
+    }
+
+    /// Predicted miss ratio of a fully-associative LRU cache of
+    /// `capacity_blocks` blocks (cold misses included).
+    pub fn miss_ratio_at(&self, capacity_blocks: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.hits_at(capacity_blocks) as f64 / self.total as f64
+    }
+
+    /// The miss-ratio curve sampled at power-of-two capacities from
+    /// `min_blocks` to `max_blocks`, as `(capacity_blocks, miss_ratio)`.
+    pub fn miss_ratio_curve(&self, min_blocks: u64, max_blocks: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        let mut c = min_blocks.max(1).next_power_of_two();
+        while c <= max_blocks {
+            out.push((c, self.miss_ratio_at(c)));
+            c *= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_trace::{workloads, AccessKind, TraceEvent};
+
+    fn trace_of(blocks: &[u64]) -> Trace {
+        let events = blocks
+            .iter()
+            .map(|b| TraceEvent {
+                tid: 0,
+                addr: b * 64,
+                kind: AccessKind::Read,
+                gap_instructions: 0,
+            })
+            .collect();
+        Trace::new(events, 1)
+    }
+
+    #[test]
+    fn immediate_rereference_has_distance_zero() {
+        let h = reuse_histogram(&trace_of(&[1, 1, 1]));
+        assert_eq!(h.cold(), 1);
+        assert_eq!(h.buckets[0], 2);
+        // A 1-block cache catches both re-references.
+        assert_eq!(h.hits_at(1), 2);
+    }
+
+    #[test]
+    fn classic_stack_distance_example() {
+        // a b c a: "a" re-referenced after touching {b, c} -> distance 2.
+        let h = reuse_histogram(&trace_of(&[1, 2, 3, 1]));
+        assert_eq!(h.cold(), 3);
+        // distance 2 lands in bucket [2,4).
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.hits_at(2), 0); // cache of 2 blocks: still a miss
+        assert_eq!(h.hits_at(4), 1); // cache of 4: hit
+    }
+
+    #[test]
+    fn cyclic_sweep_thrash_es_small_caches() {
+        // Repeating sweep over 8 blocks: all re-references at distance 7.
+        let pattern: Vec<u64> = (0..8u64).cycle().take(64).collect();
+        let h = reuse_histogram(&trace_of(&pattern));
+        assert_eq!(h.cold(), 8);
+        assert_eq!(h.miss_ratio_at(4), 1.0); // LRU thrash
+        assert!(h.miss_ratio_at(8) < 0.2);   // fits entirely
+    }
+
+    #[test]
+    fn miss_ratio_curve_is_monotone_nonincreasing() {
+        let trace = workloads::by_name("leela").unwrap().generate(3, 20_000);
+        let h = reuse_histogram(&trace);
+        let curve = h.miss_ratio_curve(16, 1 << 20);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-12,
+                "{:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Bounded by [cold/total, 1].
+        let floor = h.cold() as f64 / h.total() as f64;
+        assert!(curve.last().unwrap().1 >= floor - 1e-12);
+    }
+
+    #[test]
+    fn predicted_miss_ratio_tracks_workload_pressure() {
+        // At the 2 MB LLC point (32 K blocks), the capacity-hungry gobmk
+        // must predict a far higher miss ratio than hot-set leela.
+        let gobmk = reuse_histogram(
+            &workloads::by_name("gobmk").unwrap().generate(3, 40_000),
+        );
+        let leela = reuse_histogram(
+            &workloads::by_name("leela").unwrap().generate(3, 40_000),
+        );
+        let at_2mb = 32 * 1024;
+        assert!(
+            gobmk.miss_ratio_at(at_2mb) > 1.5 * leela.miss_ratio_at(at_2mb),
+            "gobmk {} vs leela {}",
+            gobmk.miss_ratio_at(at_2mb),
+            leela.miss_ratio_at(at_2mb)
+        );
+    }
+
+    #[test]
+    fn totals_balance() {
+        let trace = workloads::by_name("ft").unwrap().generate(3, 5_000);
+        let h = reuse_histogram(&trace);
+        let bucketed: u64 = h.buckets.iter().sum();
+        assert_eq!(bucketed + h.cold(), h.total());
+        assert_eq!(h.total(), trace.len() as u64);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let h = reuse_histogram(&Trace::new(vec![], 1));
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.miss_ratio_at(1024), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Spatial-locality characterization via stride profiling.
+//!
+//! The paper's metric suite (Section I, drawing on Shao & Brooks'
+//! ISA-independent workload characterization \[24\]) includes *spatial
+//! locality* alongside entropy and footprints. Local entropy captures it
+//! indirectly; this module measures it directly: the distribution of
+//! address strides between consecutive accesses of each thread.
+
+use nvm_llc_trace::Trace;
+
+/// Stride-distribution summary for one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StrideProfile {
+    /// Strides of exactly one element (|Δ| ≤ 8 B): sequential word walks.
+    pub sequential: u64,
+    /// Small strides within one 64 B block (8 B < |Δ| < 64 B).
+    pub intra_block: u64,
+    /// Strides within one 4 KiB page (64 B ≤ |Δ| < 4 KiB).
+    pub intra_page: u64,
+    /// Everything farther: random/pointer-chasing jumps.
+    pub far: u64,
+}
+
+impl StrideProfile {
+    /// Total classified strides.
+    pub fn total(&self) -> u64 {
+        self.sequential + self.intra_block + self.intra_page + self.far
+    }
+
+    /// Spatial-locality score in `[0, 1]`: the fraction of strides that
+    /// stay within a page, weighted toward the nearest bands
+    /// (sequential = 1.0, intra-block = 0.75, intra-page = 0.25).
+    pub fn locality_score(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.sequential as f64 + 0.75 * self.intra_block as f64
+            + 0.25 * self.intra_page as f64)
+            / n as f64
+    }
+
+    /// Fraction of far (beyond-page) strides — the "randomness" the
+    /// paper's high-entropy workloads exhibit.
+    pub fn far_fraction(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.far as f64 / n as f64
+        }
+    }
+}
+
+/// Profiles per-thread strides over a trace (strides never span threads:
+/// each core has its own access stream).
+pub fn stride_profile(trace: &Trace) -> StrideProfile {
+    let mut last: Vec<Option<u64>> = vec![None; usize::from(trace.threads())];
+    let mut profile = StrideProfile::default();
+    for event in trace {
+        let slot = &mut last[usize::from(event.tid)];
+        if let Some(prev) = *slot {
+            let delta = event.addr.abs_diff(prev);
+            if delta <= 8 {
+                profile.sequential += 1;
+            } else if delta < 64 {
+                profile.intra_block += 1;
+            } else if delta < 4096 {
+                profile.intra_page += 1;
+            } else {
+                profile.far += 1;
+            }
+        }
+        *slot = Some(event.addr);
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_trace::{workloads, AccessKind, Trace, TraceEvent};
+
+    fn trace_of(addrs: &[u64]) -> Trace {
+        Trace::new(
+            addrs
+                .iter()
+                .map(|a| TraceEvent {
+                    tid: 0,
+                    addr: *a,
+                    kind: AccessKind::Read,
+                    gap_instructions: 0,
+                })
+                .collect(),
+            1,
+        )
+    }
+
+    #[test]
+    fn sequential_walk_scores_high() {
+        let addrs: Vec<u64> = (0..1000u64).map(|i| i * 8).collect();
+        let p = stride_profile(&trace_of(&addrs));
+        assert_eq!(p.sequential, 999);
+        assert!(p.locality_score() > 0.99);
+        assert_eq!(p.far_fraction(), 0.0);
+    }
+
+    #[test]
+    fn page_jumps_score_low() {
+        let addrs: Vec<u64> = (0..1000u64).map(|i| i * 1_000_003).collect();
+        let p = stride_profile(&trace_of(&addrs));
+        assert_eq!(p.far, 999);
+        assert_eq!(p.locality_score(), 0.0);
+        assert!((p.far_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strides_do_not_cross_threads() {
+        // Two threads at distant bases, each walking sequentially: all
+        // strides must classify as sequential, none as far.
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(TraceEvent {
+                tid: 0,
+                addr: i * 8,
+                kind: AccessKind::Read,
+                gap_instructions: 0,
+            });
+            events.push(TraceEvent {
+                tid: 1,
+                addr: 1 << 30 | (i * 8),
+                kind: AccessKind::Read,
+                gap_instructions: 0,
+            });
+        }
+        let p = stride_profile(&Trace::new(events, 2));
+        assert_eq!(p.far, 0, "{p:?}");
+        assert_eq!(p.sequential, 198);
+    }
+
+    #[test]
+    fn streaming_workloads_outscore_pointer_chasers() {
+        let scaled = |name: &str| {
+            let w = workloads::by_name(name).unwrap();
+            stride_profile(&w.generate(7, w.scaled_accesses(30_000))).locality_score()
+        };
+        // GemsFDTD streams (0.65 stream fraction, dwell 16); deepsjeng
+        // jumps through a 32 MB table.
+        assert!(
+            scaled("GemsFDTD") > 2.0 * scaled("deepsjeng"),
+            "{} vs {}",
+            scaled("GemsFDTD"),
+            scaled("deepsjeng")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let p = stride_profile(&Trace::new(vec![], 1));
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.locality_score(), 0.0);
+    }
+
+    #[test]
+    fn totals_balance() {
+        let trace = workloads::by_name("milc").unwrap().generate(7, 5_000);
+        let p = stride_profile(&trace);
+        // One stride per access after each thread's first.
+        assert_eq!(p.total(), trace.len() as u64 - 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Windowed (time-resolved) characterization: how a workload's memory
+//! behaviour evolves over its execution.
+//!
+//! Whole-run features (Table VI) summarize a workload with one vector;
+//! the windowed view splits the trace into fixed-size access windows and
+//! characterizes each, exposing phase behaviour — the foundation for the
+//! paper's future-work direction of studying how behaviour interacts
+//! with architecture over time.
+
+use std::collections::HashMap;
+
+use nvm_llc_trace::Trace;
+
+use crate::footprint;
+
+/// Per-window summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window index (0-based).
+    pub index: usize,
+    /// Accesses in the window (the last window may be short).
+    pub accesses: u64,
+    /// Distinct 64 B blocks touched.
+    pub unique_blocks: u64,
+    /// Blocks covering 90% of the window's accesses.
+    pub footprint_90: u64,
+    /// Fraction of accesses that were writes.
+    pub write_fraction: f64,
+    /// Fraction of this window's blocks already seen in earlier windows.
+    pub reuse_fraction: f64,
+}
+
+/// Splits `trace` into windows of `window_accesses` events and
+/// characterizes each.
+///
+/// # Panics
+///
+/// Panics if `window_accesses` is zero.
+pub fn windowed_profile(trace: &Trace, window_accesses: usize) -> Vec<WindowStats> {
+    assert!(window_accesses > 0, "windows need at least one access");
+    let mut seen_before: HashMap<u64, ()> = HashMap::new();
+    let mut out = Vec::new();
+    for (index, chunk) in trace.events().chunks(window_accesses).enumerate() {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut writes = 0u64;
+        let mut reused = 0u64;
+        for event in chunk {
+            let block = event.block();
+            *counts.entry(block).or_insert(0) += 1;
+            if event.kind.is_write() {
+                writes += 1;
+            }
+        }
+        for block in counts.keys() {
+            if seen_before.contains_key(block) {
+                reused += 1;
+            }
+        }
+        let stats = footprint::from_counts(&counts);
+        let unique = counts.len() as u64;
+        out.push(WindowStats {
+            index,
+            accesses: chunk.len() as u64,
+            unique_blocks: unique,
+            footprint_90: stats.footprint_90,
+            write_fraction: writes as f64 / chunk.len() as f64,
+            reuse_fraction: if unique == 0 {
+                0.0
+            } else {
+                reused as f64 / unique as f64
+            },
+        });
+        for block in counts.into_keys() {
+            seen_before.insert(block, ());
+        }
+    }
+    out
+}
+
+/// Detects phase boundaries: windows whose unique-block count departs
+/// from the previous window's by more than `threshold` (relative).
+pub fn phase_boundaries(windows: &[WindowStats], threshold: f64) -> Vec<usize> {
+    windows
+        .windows(2)
+        .filter_map(|pair| {
+            let prev = pair[0].unique_blocks.max(1) as f64;
+            let next = pair[1].unique_blocks as f64;
+            let change = (next - prev).abs() / prev;
+            (change > threshold).then_some(pair[1].index)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_trace::{workloads, AccessKind, TraceEvent};
+
+    fn event(addr: u64, kind: AccessKind) -> TraceEvent {
+        TraceEvent {
+            tid: 0,
+            addr,
+            kind,
+            gap_instructions: 0,
+        }
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace = workloads::by_name("leela").unwrap().generate(5, 10_000);
+        let windows = windowed_profile(&trace, 1_000);
+        assert_eq!(windows.len(), 10);
+        let total: u64 = windows.iter().map(|w| w.accesses).sum();
+        assert_eq!(total, trace.len() as u64);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+            assert!(w.footprint_90 <= w.unique_blocks);
+        }
+    }
+
+    #[test]
+    fn short_final_window_is_kept() {
+        let trace = workloads::by_name("tonto").unwrap().generate(5, 1_050);
+        let windows = windowed_profile(&trace, 500);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[2].accesses, 50);
+    }
+
+    #[test]
+    fn reuse_fraction_rises_once_the_hot_set_is_established() {
+        // A hot-set workload keeps revisiting the same blocks: later
+        // windows overlap earlier ones heavily.
+        let trace = workloads::by_name("leela").unwrap().generate(5, 30_000);
+        let windows = windowed_profile(&trace, 5_000);
+        assert_eq!(windows[0].reuse_fraction, 0.0);
+        let last = windows.last().unwrap();
+        assert!(last.reuse_fraction > 0.3, "{}", last.reuse_fraction);
+    }
+
+    #[test]
+    fn synthetic_phase_change_is_detected() {
+        // Phase 1: 8 blocks; phase 2: 512 fresh blocks.
+        let mut events = Vec::new();
+        for i in 0..1000u64 {
+            events.push(event((i % 8) * 64, AccessKind::Read));
+        }
+        for i in 0..1000u64 {
+            events.push(event((1000 + (i % 512)) * 64, AccessKind::Read));
+        }
+        let trace = nvm_llc_trace::Trace::new(events, 1);
+        let windows = windowed_profile(&trace, 500);
+        let boundaries = phase_boundaries(&windows, 2.0);
+        assert!(boundaries.contains(&2), "{boundaries:?}");
+    }
+
+    #[test]
+    fn stable_behaviour_has_no_boundaries() {
+        let mut events = Vec::new();
+        for i in 0..4000u64 {
+            events.push(event((i % 64) * 64, AccessKind::Read));
+        }
+        let trace = nvm_llc_trace::Trace::new(events, 1);
+        let windows = windowed_profile(&trace, 1_000);
+        assert!(phase_boundaries(&windows, 0.5).is_empty());
+    }
+
+    #[test]
+    fn write_fraction_tracks_the_generator() {
+        let w = workloads::by_name("ft").unwrap(); // ~49% writes
+        let trace = w.generate(5, 10_000);
+        let windows = windowed_profile(&trace, 10_000);
+        let wf = windows[0].write_fraction;
+        assert!((wf - (1.0 - w.read_fraction())).abs() < 0.05, "{wf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_window_panics() {
+        let trace = nvm_llc_trace::Trace::new(vec![], 1);
+        let _ = windowed_profile(&trace, 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Set-associative cache arrays with pluggable replacement.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Replacement policy for a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the baseline everywhere in the paper).
+    #[default]
+    Lru,
+    /// Uniform-random victim selection (replacement-sensitivity ablation).
+    Random,
+}
+
+/// A line displaced by an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block address of the victim.
+    pub block: u64,
+    /// Whether the victim was dirty (needs writing back).
+    pub dirty: bool,
+    /// Whether the victim was ever re-referenced after its fill — dead-
+    /// on-arrival blocks (never reused) are what bypass predictors hunt.
+    pub reused: bool,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// The displaced victim, if an allocation evicted one.
+    pub evicted: Option<Eviction>,
+}
+
+impl AccessOutcome {
+    /// The dirty victim's block address, if the eviction requires a
+    /// writeback.
+    pub fn writeback(&self) -> Option<u64> {
+        self.evicted.filter(|e| e.dirty).map(|e| e.block)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    reused: bool,
+    stamp: u64,
+}
+
+/// A write-back, write-allocate set-associative cache over 64 B block
+/// addresses.
+///
+/// Purely functional state (no timing): the timing model lives in
+/// [`crate::system`]. Addresses are *block* addresses (byte address / 64).
+///
+/// # Examples
+///
+/// ```
+/// use nvm_llc_sim::cache::{Replacement, SetAssocCache};
+///
+/// let mut l1 = SetAssocCache::new(64, 2, Replacement::Lru);
+/// assert!(!l1.access(0x10, false).hit); // cold miss
+/// assert!(l1.access(0x10, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    replacement: Replacement,
+    clock: u64,
+    rng: SmallRng,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache with `num_sets` sets of `ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_sets` is a power of two and `ways ≥ 1` —
+    /// configurations come from validated [`crate::config`] values.
+    pub fn new(num_sets: u64, ways: u32, replacement: Replacement) -> Self {
+        assert!(num_sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways >= 1, "needs at least one way");
+        SetAssocCache {
+            sets: vec![vec![Line::default(); ways as usize]; num_sets as usize],
+            set_mask: num_sets - 1,
+            replacement,
+            clock: 0,
+            rng: SmallRng::seed_from_u64(0xCAC4E),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Builds a cache from a capacity/associativity/block geometry.
+    pub fn with_geometry(
+        capacity_bytes: u64,
+        associativity: u32,
+        block_bytes: u32,
+        replacement: Replacement,
+    ) -> Self {
+        let sets = (capacity_bytes / (u64::from(block_bytes) * u64::from(associativity))).max(1);
+        Self::new(sets.next_power_of_two(), associativity, replacement)
+    }
+
+    /// Accesses `block`; on a miss the block is allocated
+    /// (write-allocate), possibly evicting a victim. `is_write` marks the
+    /// line dirty.
+    pub fn access(&mut self, block: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let set_idx = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = clock;
+            line.dirty |= is_write;
+            line.reused = true;
+            self.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.misses += 1;
+
+        // Victim: first invalid way, else per policy.
+        let victim_idx = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => match self.replacement {
+                Replacement::Lru => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set"),
+                Replacement::Random => self.rng.random_range(0..set.len()),
+            },
+        };
+        let victim = set[victim_idx];
+        let evicted = victim.valid.then(|| Eviction {
+            block: (victim.tag << self.set_mask.count_ones()) | set_idx as u64,
+            dirty: victim.dirty,
+            reused: victim.reused,
+        });
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            reused: false,
+            stamp: clock,
+        };
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Accesses `block` without allocating on a miss — the bypass path:
+    /// hits update recency and count normally; misses count but leave the
+    /// set untouched.
+    pub fn access_no_alloc(&mut self, block: u64) -> bool {
+        self.clock += 1;
+        let set_idx = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        let clock = self.clock;
+        if let Some(line) = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.stamp = clock;
+            line.reused = true;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Allocates `block` dirty *without* counting an access — used to sink
+    /// writebacks arriving from an upper level (their timing and energy
+    /// are charged by the caller).
+    ///
+    /// Returns an evicted dirty block, if any.
+    pub fn fill_dirty(&mut self, block: u64) -> Option<u64> {
+        self.fill_dirty_full(block).filter(|e| e.dirty).map(|e| e.block)
+    }
+
+    /// Like [`SetAssocCache::fill_dirty`] but returns the full eviction
+    /// record (clean victims included) — inclusive hierarchies must
+    /// back-invalidate those too.
+    pub fn fill_dirty_full(&mut self, block: u64) -> Option<Eviction> {
+        let outcome = self.access(block, true);
+        // Writebacks are not demand traffic; undo the stat increments.
+        if outcome.hit {
+            self.hits -= 1;
+        } else {
+            self.misses -= 1;
+        }
+        outcome.evicted
+    }
+
+    /// Allocates `block` clean without counting demand stats — the
+    /// prefetch path. Returns the full eviction record so the caller can
+    /// cascade dirty victims.
+    pub fn fill_clean(&mut self, block: u64) -> Option<Eviction> {
+        let outcome = self.access(block, false);
+        if outcome.hit {
+            self.hits -= 1;
+        } else {
+            self.misses -= 1;
+        }
+        outcome.evicted
+    }
+
+    /// Invalidates `block` if resident; returns whether the dropped line
+    /// was dirty. Used for inclusive-hierarchy back-invalidation.
+    pub fn invalidate(&mut self, block: u64) -> Option<bool> {
+        let set_idx = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        let line = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)?;
+        line.valid = false;
+        Some(line.dirty)
+    }
+
+    /// All currently resident block addresses (test/debug helper).
+    pub fn resident_blocks(&self) -> Vec<u64> {
+        let bits = self.set_mask.count_ones();
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for line in set {
+                if line.valid {
+                    out.push((line.tag << bits) | set_idx as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `block` is currently resident (no state change).
+    pub fn contains(&self, block: u64) -> bool {
+        let set_idx = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Demand hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Demand accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio over demand accesses (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(16, 2, Replacement::Lru);
+        assert!(!c.access(5, false).hit);
+        assert!(c.access(5, false).hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways: blocks map to same set when set bits equal.
+        let mut c = SetAssocCache::new(1, 2, Replacement::Lru);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(1, false); // 2 is now LRU
+        c.access(3, false); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = SetAssocCache::new(1, 1, Replacement::Lru);
+        assert_eq!(c.access(7, true).writeback(), None);
+        let out = c.access(9, false);
+        assert!(!out.hit);
+        assert_eq!(out.writeback(), Some(7));
+        // Block 7 was never re-referenced after its fill.
+        assert!(!out.evicted.unwrap().reused);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = SetAssocCache::new(1, 1, Replacement::Lru);
+        c.access(7, false);
+        assert_eq!(c.access(9, false).writeback(), None);
+    }
+
+    #[test]
+    fn write_then_read_keeps_dirty_until_evicted() {
+        let mut c = SetAssocCache::new(1, 1, Replacement::Lru);
+        c.access(7, true);
+        c.access(7, false); // read does not clean it
+        let out = c.access(9, false);
+        assert_eq!(out.writeback(), Some(7));
+        // And this victim *was* reused before eviction.
+        assert!(out.evicted.unwrap().reused);
+    }
+
+    #[test]
+    fn fill_dirty_does_not_perturb_demand_stats() {
+        let mut c = SetAssocCache::new(16, 2, Replacement::Lru);
+        c.access(1, false);
+        let (h, m) = (c.hits(), c.misses());
+        let wb = c.fill_dirty(33);
+        assert_eq!(wb, None);
+        assert_eq!((c.hits(), c.misses()), (h, m));
+        assert!(c.contains(33));
+    }
+
+    #[test]
+    fn set_index_uses_low_block_bits() {
+        let mut c = SetAssocCache::new(16, 1, Replacement::Lru);
+        c.access(0, false);
+        c.access(16, false); // same set (block % 16 == 0), evicts 0
+        assert!(!c.contains(0));
+        assert!(c.contains(16));
+        assert!(c.access(3, false).writeback().is_none()); // different set
+    }
+
+    #[test]
+    fn random_policy_eventually_evicts_everything() {
+        let mut c = SetAssocCache::new(1, 4, Replacement::Random);
+        for b in 0..4 {
+            c.access(b, false);
+        }
+        for b in 100..200 {
+            c.access(b, false);
+        }
+        // All original lines must be gone after 100 conflicting fills.
+        for b in 0..4 {
+            assert!(!c.contains(b), "block {b} survived");
+        }
+    }
+
+    #[test]
+    fn geometry_constructor_matches_table_4_l1() {
+        let c = SetAssocCache::with_geometry(32 * 1024, 8, 64, Replacement::Lru);
+        // 32 KB / (64 B × 8) = 64 sets.
+        assert_eq!(c.sets.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = SetAssocCache::new(3, 2, Replacement::Lru);
+    }
+
+    #[test]
+    fn invalidate_drops_lines_and_reports_dirtiness() {
+        let mut c = SetAssocCache::new(4, 2, Replacement::Lru);
+        c.access(1, true);
+        c.access(2, false);
+        assert_eq!(c.invalidate(1), Some(true));
+        assert_eq!(c.invalidate(2), Some(false));
+        assert_eq!(c.invalidate(3), None);
+        assert!(!c.contains(1));
+        assert!(c.resident_blocks().is_empty());
+    }
+
+    #[test]
+    fn resident_blocks_reconstruct_addresses() {
+        let mut c = SetAssocCache::new(8, 2, Replacement::Lru);
+        for b in [3u64, 11, 100] {
+            c.access(b, false);
+        }
+        let mut resident = c.resident_blocks();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![3, 11, 100]);
+    }
+
+    #[test]
+    fn capacity_working_set_fits_exactly() {
+        // A working set equal to capacity must fully hit after warmup.
+        let mut c = SetAssocCache::new(8, 2, Replacement::Lru);
+        for round in 0..3 {
+            for b in 0..16u64 {
+                let hit = c.access(b, false).hit;
+                if round > 0 {
+                    assert!(hit, "round {round} block {b}");
+                }
+            }
+        }
+    }
+}

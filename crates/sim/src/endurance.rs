@@ -1,0 +1,246 @@
+//! Write-endurance and lifetime analysis (the paper's Section VII names
+//! lifetime characterization as the next step after this work; Section II
+//! gives the per-class endurance limits this module consumes).
+//!
+//! The tracker counts array writes per LLC set as the simulation runs and
+//! derives a lifetime estimate from the *hottest* set — NVM caches die at
+//! their most-written line, not their average one — optionally applying
+//! an intra-set-agnostic wear-leveling remap (a Start-Gap-style rotating
+//! XOR of the set index, the paper's reference \[20\] category).
+
+use std::fmt;
+
+use nvm_llc_cell::units::Seconds;
+use nvm_llc_cell::MemClass;
+
+/// Seconds per (365-day) year.
+const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// Wear-leveling policy applied to the physical set mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WearPolicy {
+    /// No leveling: logical set = physical set.
+    #[default]
+    None,
+    /// Rotate an XOR key over the set index every `period` writes,
+    /// spreading hot logical sets over many physical sets.
+    RotateXor {
+        /// Writes between key rotations.
+        period: u64,
+    },
+}
+
+/// Tracks per-physical-set write counts during a run.
+#[derive(Debug, Clone)]
+pub struct EnduranceTracker {
+    set_writes: Vec<u64>,
+    set_mask: u64,
+    policy: WearPolicy,
+    key: u64,
+    writes_since_rotation: u64,
+}
+
+impl EnduranceTracker {
+    /// Creates a tracker for an LLC with `sets` sets (rounded up to a
+    /// power of two).
+    pub fn new(sets: u64, policy: WearPolicy) -> Self {
+        let sets = sets.max(1).next_power_of_two();
+        EnduranceTracker {
+            set_writes: vec![0; sets as usize],
+            set_mask: sets - 1,
+            policy,
+            key: 0,
+            writes_since_rotation: 0,
+        }
+    }
+
+    /// Records one array write to the set holding `block`.
+    pub fn record(&mut self, block: u64) {
+        let physical = (block ^ self.key) & self.set_mask;
+        self.set_writes[physical as usize] += 1;
+        if let WearPolicy::RotateXor { period } = self.policy {
+            self.writes_since_rotation += 1;
+            if self.writes_since_rotation >= period.max(1) {
+                self.writes_since_rotation = 0;
+                // A multiplicative odd constant walks the key through the
+                // whole index space before repeating.
+                self.key = self.key.wrapping_add(0x9E37_79B9) & self.set_mask;
+            }
+        }
+    }
+
+    /// Per-physical-set write counts.
+    pub fn set_writes(&self) -> &[u64] {
+        &self.set_writes
+    }
+
+    /// Finalizes into a report for a cache of `ways` ways built from
+    /// `class` cells, over an execution of `exec_time`.
+    pub fn report(&self, class: MemClass, ways: u32, exec_time: Seconds) -> EnduranceReport {
+        let total: u64 = self.set_writes.iter().sum();
+        let max = self.set_writes.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / self.set_writes.len() as f64;
+        // Within a set, fills/writebacks spread over the ways; the
+        // worst-case cell sees its share of the hottest set's writes.
+        let worst_cell_writes = max as f64 / f64::from(ways.max(1));
+        let t = exec_time.value().max(1e-12);
+        let worst_cell_write_rate_hz = worst_cell_writes / t;
+        let endurance = class.write_endurance();
+        let lifetime_years = if worst_cell_write_rate_hz == 0.0 {
+            f64::INFINITY
+        } else {
+            endurance / worst_cell_write_rate_hz / SECONDS_PER_YEAR
+        };
+        EnduranceReport {
+            class,
+            total_writes: total,
+            max_set_writes: max,
+            mean_set_writes: mean,
+            worst_cell_write_rate_hz,
+            lifetime_years,
+        }
+    }
+}
+
+/// Lifetime summary of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnduranceReport {
+    /// Cell technology class (sets the endurance limit).
+    pub class: MemClass,
+    /// Total LLC array writes observed.
+    pub total_writes: u64,
+    /// Writes into the hottest set.
+    pub max_set_writes: u64,
+    /// Mean writes per set (over all sets).
+    pub mean_set_writes: f64,
+    /// Sustained write rate of the worst-case cell, Hz.
+    pub worst_cell_write_rate_hz: f64,
+    /// Years until the worst-case cell exhausts its endurance at the
+    /// observed rate.
+    pub lifetime_years: f64,
+}
+
+impl EnduranceReport {
+    /// Write imbalance: hottest set over mean set (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_set_writes == 0.0 {
+            1.0
+        } else {
+            self.max_set_writes as f64 / self.mean_set_writes
+        }
+    }
+}
+
+impl fmt::Display for EnduranceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} writes, hottest set {} ({:.1}× mean), worst cell {:.0} wr/s, \
+             lifetime {:.3e} years",
+            self.class,
+            self.total_writes,
+            self.max_set_writes,
+            self.imbalance(),
+            self.worst_cell_write_rate_hz,
+            self.lifetime_years
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_writes_have_no_imbalance() {
+        let mut t = EnduranceTracker::new(16, WearPolicy::None);
+        for block in 0..1600u64 {
+            t.record(block);
+        }
+        let r = t.report(MemClass::Rram, 16, Seconds::new(1.0));
+        assert_eq!(r.total_writes, 1600);
+        assert_eq!(r.max_set_writes, 100);
+        assert!((r.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_set_dominates_lifetime() {
+        let mut t = EnduranceTracker::new(16, WearPolicy::None);
+        for _ in 0..1000u64 {
+            t.record(5); // hammer one set
+        }
+        for block in 0..16u64 {
+            t.record(block);
+        }
+        let r = t.report(MemClass::Pcram, 16, Seconds::new(1.0));
+        assert_eq!(r.max_set_writes, 1001);
+        assert!(r.imbalance() > 10.0);
+    }
+
+    #[test]
+    fn wear_leveling_reduces_imbalance() {
+        let hammer = |policy| {
+            let mut t = EnduranceTracker::new(64, policy);
+            for _ in 0..10_000u64 {
+                t.record(7);
+            }
+            t.report(MemClass::Rram, 16, Seconds::new(1.0)).imbalance()
+        };
+        let none = hammer(WearPolicy::None);
+        let leveled = hammer(WearPolicy::RotateXor { period: 100 });
+        assert!(
+            leveled < none / 4.0,
+            "leveled {leveled} vs unleveled {none}"
+        );
+    }
+
+    #[test]
+    fn wear_leveling_extends_lifetime() {
+        let lifetime = |policy| {
+            let mut t = EnduranceTracker::new(64, policy);
+            for _ in 0..10_000u64 {
+                t.record(7);
+            }
+            t.report(MemClass::Pcram, 16, Seconds::new(1.0)).lifetime_years
+        };
+        assert!(
+            lifetime(WearPolicy::RotateXor { period: 100 }) > 5.0 * lifetime(WearPolicy::None)
+        );
+    }
+
+    #[test]
+    fn endurance_limits_order_lifetimes() {
+        // Same write pattern: PCRAM (1e8) dies before RRAM (1e10) dies
+        // before STTRAM (1e15).
+        let report = |class| {
+            let mut t = EnduranceTracker::new(16, WearPolicy::None);
+            for block in 0..3200u64 {
+                t.record(block);
+            }
+            t.report(class, 16, Seconds::new(1.0))
+        };
+        let pcram = report(MemClass::Pcram).lifetime_years;
+        let rram = report(MemClass::Rram).lifetime_years;
+        let sttram = report(MemClass::Sttram).lifetime_years;
+        assert!(pcram < rram);
+        assert!(rram < sttram);
+    }
+
+    #[test]
+    fn idle_tracker_reports_infinite_lifetime() {
+        let t = EnduranceTracker::new(16, WearPolicy::None);
+        let r = t.report(MemClass::Pcram, 16, Seconds::new(1.0));
+        assert_eq!(r.total_writes, 0);
+        assert!(r.lifetime_years.is_infinite());
+        assert_eq!(r.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut t = EnduranceTracker::new(16, WearPolicy::None);
+        t.record(1);
+        let s = t.report(MemClass::Rram, 16, Seconds::new(1.0)).to_string();
+        assert!(s.contains("lifetime"));
+        assert!(s.contains("RRAM"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulation outputs and normalized metrics.
+
+use std::fmt;
+
+use nvm_llc_cell::units::{Joules, Seconds};
+
+use crate::endurance::EnduranceReport;
+
+/// Event counts and derived statistics from one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Memory accesses replayed.
+    pub accesses: u64,
+    /// L1D hits / misses (summed over cores).
+    pub l1d_hits: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC demand (read) hits.
+    pub llc_hits: u64,
+    /// LLC demand misses.
+    pub llc_misses: u64,
+    /// LLC writes paying `E_dyn,write` (equation (8)): L2 dirty
+    /// writebacks into the LLC.
+    pub llc_writes: u64,
+    /// LLC miss fills (block allocations). Charged as misses per
+    /// equation (7); tracked separately because they still cycle the NVM
+    /// array for endurance purposes.
+    pub llc_fills: u64,
+    /// Blocks written back from the LLC to DRAM.
+    pub dram_writebacks: u64,
+    /// Cycles each core spent stalled on LLC port contention.
+    pub llc_port_stall_cycles: u64,
+    /// DRAM row-buffer hits (detailed backend only; 0 otherwise).
+    pub dram_row_hits: u64,
+    /// DRAM row conflicts (detailed backend only).
+    pub dram_row_conflicts: u64,
+    /// Cycles requests queued on busy DRAM banks (detailed backend only).
+    pub dram_queue_cycles: u64,
+    /// Demand fills skipped by the dead-block bypass predictor.
+    pub llc_bypassed_fills: u64,
+    /// Next-line prefetches issued by the L2 prefetcher.
+    pub prefetches: u64,
+    /// Private-cache lines dropped by inclusive back-invalidation.
+    pub inclusion_invalidations: u64,
+}
+
+impl SimStats {
+    /// LLC misses per thousand instructions — Table V's selection metric.
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / (self.instructions as f64 / 1000.0)
+        }
+    }
+
+    /// LLC demand accesses.
+    pub fn llc_accesses(&self) -> u64 {
+        self.llc_hits + self.llc_misses
+    }
+}
+
+/// The result of simulating one trace on one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Technology display name of the LLC that ran (e.g. `Jan_S`).
+    pub llc_name: String,
+    /// Execution time (slowest core).
+    pub exec_time: Seconds,
+    /// LLC dynamic energy (equations (6)–(8) summed over events).
+    pub llc_dynamic_energy: Joules,
+    /// LLC leakage energy (leakage power × execution time).
+    pub llc_leakage_energy: Joules,
+    /// Endurance/lifetime report, when tracking was enabled.
+    pub endurance: Option<EnduranceReport>,
+    /// Event statistics.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// Total LLC energy: dynamic + leakage.
+    pub fn llc_energy(&self) -> Joules {
+        self.llc_dynamic_energy + self.llc_leakage_energy
+    }
+
+    /// Energy-delay-squared product of the LLC (`E·D²`), the paper's
+    /// combined efficiency metric.
+    pub fn ed2p(&self) -> f64 {
+        self.llc_energy().value() * self.exec_time.value().powi(2)
+    }
+
+    /// Speedup of this run relative to `baseline` (>1 is faster).
+    pub fn speedup_vs(&self, baseline: &SimResult) -> f64 {
+        baseline.exec_time.value() / self.exec_time.value()
+    }
+
+    /// LLC energy normalized to `baseline` (<1 is better).
+    pub fn energy_vs(&self, baseline: &SimResult) -> f64 {
+        self.llc_energy().value() / baseline.llc_energy().value()
+    }
+
+    /// ED²P normalized to `baseline` (<1 is better).
+    pub fn ed2p_vs(&self, baseline: &SimResult) -> f64 {
+        self.ed2p() / baseline.ed2p()
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms, LLC {:.3} mJ ({:.3} dyn + {:.3} leak), mpki {:.2}",
+            self.llc_name,
+            self.exec_time.value() * 1e3,
+            self.llc_energy().value() * 1e3,
+            self.llc_dynamic_energy.value() * 1e3,
+            self.llc_leakage_energy.value() * 1e3,
+            self.stats.llc_mpki(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(time_s: f64, dyn_j: f64, leak_j: f64) -> SimResult {
+        SimResult {
+            llc_name: "X".into(),
+            exec_time: Seconds::new(time_s),
+            llc_dynamic_energy: Joules::new(dyn_j),
+            llc_leakage_energy: Joules::new(leak_j),
+            endurance: None,
+            stats: SimStats {
+                instructions: 1_000_000,
+                llc_misses: 5_000,
+                ..SimStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn mpki_is_misses_per_kiloinstruction() {
+        let r = result(1.0, 0.0, 0.0);
+        assert!((r.stats.llc_mpki() - 5.0).abs() < 1e-12);
+        assert_eq!(SimStats::default().llc_mpki(), 0.0);
+    }
+
+    #[test]
+    fn ed2p_squares_delay() {
+        let fast = result(1.0, 1.0, 0.0);
+        let slow = result(2.0, 1.0, 0.0);
+        assert!((slow.ed2p() / fast.ed2p() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_metrics() {
+        let base = result(1.0, 0.5, 0.5);
+        let other = result(2.0, 0.25, 0.25);
+        assert!((other.speedup_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((other.energy_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((other.ed2p_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_vs(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = result(0.001, 1e-6, 2e-6).to_string();
+        assert!(s.contains("mpki"));
+        assert!(s.starts_with("X:"));
+    }
+}

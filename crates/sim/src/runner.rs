@@ -1,0 +1,242 @@
+//! Experiment runner: workload × LLC-technology matrices with
+//! SRAM-normalized metrics (the data behind the paper's Figures 1 and 2).
+
+use nvm_llc_circuit::LlcModel;
+use nvm_llc_trace::WorkloadProfile;
+
+use crate::config::ArchConfig;
+use crate::result::SimResult;
+use crate::system::System;
+
+/// How many accesses (per thread, before the workload's relative-volume
+/// scaling) an evaluation replays by default. Tests use smaller runs.
+pub const DEFAULT_BASE_ACCESSES: usize = 200_000;
+
+/// The seed every reproducible experiment uses.
+pub const DEFAULT_SEED: u64 = 2019; // the paper's publication year
+
+/// Cache-warmup fraction for steady-state measurement (Sniper-style
+/// warmup before the region of interest).
+pub const DEFAULT_WARMUP: f64 = 0.25;
+
+/// One technology's normalized outcome for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixEntry {
+    /// LLC display name (e.g. `Kang_P`).
+    pub llc: String,
+    /// Raw simulation result.
+    pub result: SimResult,
+    /// Speedup vs the SRAM baseline (>1 is faster).
+    pub speedup: f64,
+    /// LLC energy normalized to SRAM (<1 is better).
+    pub energy: f64,
+    /// ED²P normalized to SRAM (<1 is better).
+    pub ed2p: f64,
+}
+
+/// A full row of Figure 1/2: one workload against every technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Workload name.
+    pub workload: String,
+    /// The SRAM baseline run.
+    pub baseline: SimResult,
+    /// One entry per evaluated NVM.
+    pub entries: Vec<MatrixEntry>,
+}
+
+impl MatrixRow {
+    /// The entry for a technology by display or citation name.
+    pub fn entry(&self, name: &str) -> Option<&MatrixEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.llc == name || e.llc.starts_with(&format!("{name}_")) || e.llc == format!("{name}"))
+    }
+
+    /// The most energy-efficient technology of this row.
+    pub fn best_energy(&self) -> Option<&MatrixEntry> {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite energy"))
+    }
+
+    /// The fastest technology of this row.
+    pub fn best_speedup(&self) -> Option<&MatrixEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedup"))
+    }
+}
+
+/// Evaluation harness over a fixed set of LLC models.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    baseline: LlcModel,
+    nvms: Vec<LlcModel>,
+    base_accesses: usize,
+    seed: u64,
+    cores: Option<u32>,
+    warmup: f64,
+}
+
+impl Evaluator {
+    /// Creates an evaluator normalizing against `baseline` (the SRAM row).
+    pub fn new(baseline: LlcModel, nvms: Vec<LlcModel>) -> Self {
+        Evaluator {
+            baseline,
+            nvms,
+            base_accesses: DEFAULT_BASE_ACCESSES,
+            seed: DEFAULT_SEED,
+            cores: None,
+            warmup: DEFAULT_WARMUP,
+        }
+    }
+
+    /// Overrides the cache-warmup fraction (default 25%).
+    pub fn warmup(mut self, fraction: f64) -> Self {
+        self.warmup = fraction;
+        self
+    }
+
+    /// Overrides the base per-thread access count (scaled per workload by
+    /// its relative volume).
+    pub fn base_accesses(mut self, accesses: usize) -> Self {
+        self.base_accesses = accesses;
+        self
+    }
+
+    /// Overrides the trace seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the core count (Section V-C core sweep); defaults to the
+    /// Gainestown quad-core.
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cores = Some(cores);
+        self
+    }
+
+    /// Runs one workload against the baseline and every NVM.
+    pub fn run_workload(&self, workload: &WorkloadProfile) -> MatrixRow {
+        let accesses = workload.scaled_accesses(self.base_accesses);
+        let trace = workload.generate(self.seed, accesses);
+        let config = |llc: &LlcModel| {
+            let mut c = ArchConfig::gainestown(llc.clone());
+            if let Some(cores) = self.cores {
+                c = c.with_cores(cores);
+            }
+            c
+        };
+        let baseline = System::new(config(&self.baseline))
+            .with_warmup(self.warmup)
+            .run(&trace);
+        let entries = self
+            .nvms
+            .iter()
+            .map(|llc| {
+                let result = System::new(config(llc)).with_warmup(self.warmup).run(&trace);
+                MatrixEntry {
+                    llc: result.llc_name.clone(),
+                    speedup: result.speedup_vs(&baseline),
+                    energy: result.energy_vs(&baseline),
+                    ed2p: result.ed2p_vs(&baseline),
+                    result,
+                }
+            })
+            .collect();
+        MatrixRow {
+            workload: workload.name().to_owned(),
+            baseline,
+            entries,
+        }
+    }
+
+    /// Runs a whole workload list (a full Figure 1a/1b/2a/2b panel).
+    pub fn run_all(&self, workloads: &[WorkloadProfile]) -> Vec<MatrixRow> {
+        workloads.iter().map(|w| self.run_workload(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_circuit::reference;
+    use nvm_llc_trace::workloads;
+
+    fn small_evaluator() -> Evaluator {
+        let models = reference::fixed_capacity();
+        let baseline = reference::by_name(&models, "SRAM").unwrap();
+        let nvms: Vec<_> = models
+            .into_iter()
+            .filter(|m| m.name != "SRAM")
+            .collect();
+        Evaluator::new(baseline, nvms).base_accesses(8_000)
+    }
+
+    #[test]
+    fn row_contains_all_ten_nvms() {
+        let row = small_evaluator().run_workload(&workloads::by_name("tonto").unwrap());
+        assert_eq!(row.entries.len(), 10);
+        assert_eq!(row.workload, "tonto");
+        assert!(row.entry("Jan").is_some());
+        assert!(row.entry("Zhang_R").is_some());
+    }
+
+    #[test]
+    fn baseline_normalizes_to_itself() {
+        let row = small_evaluator().run_workload(&workloads::by_name("leela").unwrap());
+        for e in &row.entries {
+            assert!(e.speedup.is_finite() && e.speedup > 0.0);
+            assert!(e.energy.is_finite() && e.energy > 0.0);
+            assert!(e.ed2p.is_finite() && e.ed2p > 0.0);
+        }
+    }
+
+    #[test]
+    fn fixed_capacity_speedups_are_near_unity() {
+        // Fig. 1: NVM performance within a few percent of SRAM.
+        let row = small_evaluator().run_workload(&workloads::by_name("gamess").unwrap());
+        for e in &row.entries {
+            assert!(
+                (0.75..=1.15).contains(&e.speedup),
+                "{}: speedup {}",
+                e.llc,
+                e.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn most_nvms_save_energy_pcram_can_lose() {
+        let row = small_evaluator().run_workload(&workloads::by_name("bzip2").unwrap());
+        let jan = row.entry("Jan").unwrap();
+        assert!(jan.energy < 0.6, "Jan energy {}", jan.energy);
+        let kang = row.entry("Kang").unwrap();
+        // Kang's 375 nJ writes make it the worst technology on
+        // write-heavy bzip2 (Fig. 1: up to 6× SRAM).
+        assert!(kang.energy > jan.energy * 3.0);
+    }
+
+    #[test]
+    fn best_pickers_agree_with_entries() {
+        let row = small_evaluator().run_workload(&workloads::by_name("tonto").unwrap());
+        let best_e = row.best_energy().unwrap();
+        assert!(row.entries.iter().all(|e| e.energy >= best_e.energy));
+        let best_s = row.best_speedup().unwrap();
+        assert!(row.entries.iter().all(|e| e.speedup <= best_s.speedup));
+    }
+
+    #[test]
+    fn run_all_preserves_workload_order() {
+        let ws: Vec<_> = ["tonto", "leela"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        let rows = small_evaluator().run_all(&ws);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].workload, "tonto");
+        assert_eq!(rows[1].workload, "leela");
+    }
+}

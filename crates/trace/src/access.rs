@@ -1,0 +1,212 @@
+//! Memory access records and traces.
+//!
+//! A [`Trace`] is the interface between the workload layer and both the
+//! system simulator (which replays it against a cache hierarchy) and the
+//! PRISM-style characterization framework (which computes
+//! architecture-agnostic features from it).
+
+use std::fmt;
+
+/// Cache block size assumed throughout the system (Table IV: 64 B blocks).
+pub const BLOCK_BYTES: u64 = 64;
+
+/// The kind of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("R"),
+            AccessKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One memory access plus the non-memory instructions that preceded it.
+///
+/// Packing the preceding instruction count into each event keeps traces
+/// compact while giving the timing model everything it needs to charge
+/// base CPI between memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Issuing thread (0-based; threads map 1:1 onto cores, Table IV).
+    pub tid: u8,
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Non-memory instructions executed by this thread since its previous
+    /// memory access.
+    pub gap_instructions: u32,
+}
+
+impl TraceEvent {
+    /// The 64 B-block address of this access.
+    pub fn block(&self) -> u64 {
+        self.addr / BLOCK_BYTES
+    }
+
+    /// Instructions this event accounts for (the access itself plus the
+    /// preceding gap).
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap_instructions) + 1
+    }
+}
+
+/// An interleaved multi-thread memory trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    threads: u8,
+}
+
+impl Trace {
+    /// Builds a trace from pre-interleaved events for `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event's `tid` is out of range — traces are built by
+    /// generators, so a bad tid is a construction bug, not an input error.
+    pub fn new(events: Vec<TraceEvent>, threads: u8) -> Self {
+        assert!(threads > 0, "a trace needs at least one thread");
+        assert!(
+            events.iter().all(|e| e.tid < threads),
+            "event tid out of range"
+        );
+        Trace { events, threads }
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> u8 {
+        self.threads
+    }
+
+    /// All events in interleaved program order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of memory accesses.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Total instructions represented (memory + gap instructions).
+    pub fn total_instructions(&self) -> u64 {
+        self.events.iter().map(TraceEvent::instructions).sum()
+    }
+
+    /// Total reads.
+    pub fn reads(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind.is_read()).count() as u64
+    }
+
+    /// Total writes.
+    pub fn writes(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind.is_write()).count() as u64
+    }
+
+    /// Events of one thread, in order.
+    pub fn thread_events(&self, tid: u8) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.tid == tid)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u8, addr: u64, kind: AccessKind, gap: u32) -> TraceEvent {
+        TraceEvent {
+            tid,
+            addr,
+            kind,
+            gap_instructions: gap,
+        }
+    }
+
+    #[test]
+    fn block_addressing_uses_64_byte_lines() {
+        assert_eq!(ev(0, 0, AccessKind::Read, 0).block(), 0);
+        assert_eq!(ev(0, 63, AccessKind::Read, 0).block(), 0);
+        assert_eq!(ev(0, 64, AccessKind::Read, 0).block(), 1);
+    }
+
+    #[test]
+    fn counts_and_instructions() {
+        let t = Trace::new(
+            vec![
+                ev(0, 0, AccessKind::Read, 3),
+                ev(1, 64, AccessKind::Write, 1),
+                ev(0, 128, AccessKind::Read, 0),
+            ],
+            2,
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+        assert_eq!(t.total_instructions(), 4 + 2 + 1);
+        assert_eq!(t.thread_events(0).count(), 2);
+        assert_eq!(t.threads(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tid out of range")]
+    fn rejects_out_of_range_tid() {
+        let _ = Trace::new(vec![ev(3, 0, AccessKind::Read, 0)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_threads() {
+        let _ = Trace::new(vec![], 0);
+    }
+
+    #[test]
+    fn iterates_by_reference() {
+        let t = Trace::new(vec![ev(0, 0, AccessKind::Read, 0)], 1);
+        let mut n = 0;
+        for e in &t {
+            assert_eq!(e.addr, 0);
+            n += 1;
+        }
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary trace serialization — bring-your-own-trace interoperability.
+//!
+//! The paper's pipeline consumes Pin-captured traces; this module defines
+//! a compact binary container so externally captured traces (or expensive
+//! generated ones) can be stored and replayed instead of regenerated:
+//!
+//! ```text
+//! magic "NVMT" | version u16 | threads u8 | reserved u8 | count u64
+//! then per event: tid u8 | kind u8 | gap u32 | addr u64   (14 bytes LE)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::access::{AccessKind, Trace, TraceEvent};
+
+/// File magic.
+const MAGIC: &[u8; 4] = b"NVMT";
+/// Current format version.
+const VERSION: u16 = 1;
+/// Bytes per serialized event.
+const EVENT_BYTES: usize = 14;
+
+/// Errors from trace deserialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u16),
+    /// Malformed event payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceIoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceIoError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace to any [`Write`] sink (pass `&mut writer` to keep
+/// ownership).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the sink.
+pub fn write_trace<W: Write>(mut sink: W, trace: &Trace) -> Result<(), TraceIoError> {
+    sink.write_all(MAGIC)?;
+    sink.write_all(&VERSION.to_le_bytes())?;
+    sink.write_all(&[trace.threads(), 0])?;
+    sink.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = [0u8; EVENT_BYTES];
+    for event in trace {
+        buf[0] = event.tid;
+        buf[1] = match event.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        };
+        buf[2..6].copy_from_slice(&event.gap_instructions.to_le_bytes());
+        buf[6..14].copy_from_slice(&event.addr.to_le_bytes());
+        sink.write_all(&buf)?;
+    }
+    sink.flush()?;
+    Ok(())
+}
+
+/// Reads a trace from any [`Read`] source (pass `&mut reader` to keep
+/// ownership).
+///
+/// # Errors
+///
+/// [`TraceIoError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut source: R) -> Result<Trace, TraceIoError> {
+    let mut header = [0u8; 16];
+    source.read_exact(&mut header)?;
+    if &header[0..4] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let threads = header[6];
+    if threads == 0 {
+        return Err(TraceIoError::Corrupt("zero threads".into()));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut buf = [0u8; EVENT_BYTES];
+    for i in 0..count {
+        source
+            .read_exact(&mut buf)
+            .map_err(|e| TraceIoError::Corrupt(format!("event {i}: {e}")))?;
+        let tid = buf[0];
+        if tid >= threads {
+            return Err(TraceIoError::Corrupt(format!(
+                "event {i}: tid {tid} out of range"
+            )));
+        }
+        let kind = match buf[1] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            other => {
+                return Err(TraceIoError::Corrupt(format!(
+                    "event {i}: unknown kind {other}"
+                )))
+            }
+        };
+        events.push(TraceEvent {
+            tid,
+            kind,
+            gap_instructions: u32::from_le_bytes(buf[2..6].try_into().expect("4 bytes")),
+            addr: u64::from_le_bytes(buf[6..14].try_into().expect("8 bytes")),
+        });
+    }
+    Ok(Trace::new(events, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn round_trip(trace: &Trace) -> Trace {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, trace).expect("writes to memory");
+        read_trace(bytes.as_slice()).expect("reads back")
+    }
+
+    #[test]
+    fn generated_trace_round_trips() {
+        let trace = workloads::by_name("ft").unwrap().generate(9, 2_000);
+        let back = round_trip(&trace);
+        assert_eq!(back.threads(), trace.threads());
+        assert_eq!(back.events(), trace.events());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new(vec![], 3);
+        let back = round_trip(&trace);
+        assert_eq!(back.threads(), 3);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"JUNKxxxxxxxxxxxxxxxx"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &Trace::new(vec![], 1)).unwrap();
+        bytes[4] = 99;
+        assert!(matches!(
+            read_trace(bytes.as_slice()),
+            Err(TraceIoError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt() {
+        let trace = workloads::by_name("tonto").unwrap().generate(1, 10);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            read_trace(bytes.as_slice()),
+            Err(TraceIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_tid_is_corrupt() {
+        let trace = Trace::new(
+            vec![TraceEvent {
+                tid: 0,
+                addr: 64,
+                kind: AccessKind::Read,
+                gap_instructions: 1,
+            }],
+            1,
+        );
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        bytes[16] = 7; // corrupt the event's tid
+        assert!(matches!(
+            read_trace(bytes.as_slice()),
+            Err(TraceIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("nvm_llc_trace_io_test.nvmt");
+        let trace = workloads::by_name("leela").unwrap().generate(4, 1_000);
+        write_trace(std::fs::File::create(&path).unwrap(), &trace).unwrap();
+        let back = read_trace(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back.events(), trace.events());
+        let _ = std::fs::remove_file(&path);
+    }
+}

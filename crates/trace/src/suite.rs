@@ -1,0 +1,85 @@
+//! Benchmark suite taxonomy (paper Section IV, Table V).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The four benchmark suites the paper draws workloads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// SPEC cpu2006 — single-threaded CS/scientific kernels.
+    Cpu2006,
+    /// PARSEC 3.0 — image/video processing, multi-threaded (vips) and
+    /// single-threaded (x264 as configured by the paper).
+    Parsec,
+    /// NAS Parallel Benchmarks 3.3.1 — multi-threaded scientific kernels.
+    Npb,
+    /// SPEC cpu2017 — the AI inference workloads (deepsjeng, leela,
+    /// exchange2).
+    Cpu2017,
+    /// Deep-learning extension suite in the spirit of Fathom/TBD — the
+    /// benchmark families the paper names as the next step beyond the
+    /// cpu2017 AI trio (Section IV: "more focused on deep learning
+    /// tasks"). Not part of the paper's evaluation; used by the
+    /// extension experiments.
+    Fathom,
+}
+
+impl Suite {
+    /// All suites: the paper's four plus the deep-learning extension.
+    pub const ALL: [Suite; 5] = [
+        Suite::Cpu2006,
+        Suite::Parsec,
+        Suite::Npb,
+        Suite::Cpu2017,
+        Suite::Fathom,
+    ];
+
+    /// The paper's original four suites (Table V).
+    pub const PAPER: [Suite; 4] =
+        [Suite::Cpu2006, Suite::Parsec, Suite::Npb, Suite::Cpu2017];
+
+    /// Short display label matching Table V's suite column.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Cpu2006 => "cpu2006",
+            Suite::Parsec => "PARSEC3.0",
+            Suite::Npb => "NPB 3.3.1",
+            Suite::Cpu2017 => "cpu2017",
+            Suite::Fathom => "fathom-ext",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Suite {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cpu2006" => Ok(Suite::Cpu2006),
+            "parsec" | "parsec3.0" => Ok(Suite::Parsec),
+            "npb" | "npb 3.3.1" | "npb3.3.1" => Ok(Suite::Npb),
+            "cpu2017" => Ok(Suite::Cpu2017),
+            "fathom" | "fathom-ext" => Ok(Suite::Fathom),
+            other => Err(format!("unknown suite `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for s in Suite::ALL {
+            assert_eq!(s.label().parse::<Suite>().unwrap(), s);
+        }
+        assert!("spec95".parse::<Suite>().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Section V-C core sweep, runnable standalone.
+//!
+//! ```text
+//! cargo run --release --example core_sweep
+//! ```
+//!
+//! Scales the system from 1 to 16 cores on two capacity-hungry NPB
+//! workloads and prints per-technology speedup and energy against the
+//! SRAM baseline, reproducing the Section V-C tradeoffs: density wins as
+//! capacity pressure grows; Jan_S trades leakage for speed.
+
+use nvm_llc::experiments::core_sweep;
+use nvm_llc::Scale;
+
+fn main() {
+    let sweep = core_sweep::run_with(
+        Scale {
+            base_accesses: 60_000,
+            seed: 2019,
+        },
+        &[1, 2, 4, 8, 16],
+        &["mg", "ft"],
+    );
+    println!("{}", sweep.render());
+
+    // The Section V-C narrative, measured:
+    for workload in ["mg", "ft"] {
+        let at = |cores: u32, nvm: &str| {
+            sweep
+                .point(workload, cores)
+                .and_then(|p| p.row.entry(nvm).map(|e| (e.speedup, e.energy)))
+                .expect("sweep point")
+        };
+        let (jan_s, jan_e) = at(16, "Jan_S");
+        let (haya_s, haya_e) = at(16, "Hayakawa_R");
+        println!(
+            "{workload} @16 cores: Jan_S ({jan_s:.2}×, {jan_e:.2} E) vs Hayakawa_R \
+             ({haya_s:.2}×, {haya_e:.2} E) — capacity {} leakage",
+            if haya_s > jan_s { "beats" } else { "loses to" }
+        );
+    }
+}

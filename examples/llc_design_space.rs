@@ -1,0 +1,75 @@
+//! LLC design-space exploration with the circuit modeler.
+//!
+//! ```text
+//! cargo run --release --example llc_design_space
+//! ```
+//!
+//! Sweeps capacity and optimization targets for every Table II
+//! technology, then reports each technology's largest cache within the
+//! paper's 6.55 mm² SRAM footprint (the fixed-area study of
+//! Section IV-C).
+
+use nvm_llc::circuit::{fixed_area, CacheModeler, OptimizationTarget};
+use nvm_llc::cell::technologies;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const MB: u64 = 1024 * 1024;
+
+    println!("== Capacity sweep (read-latency-optimized, per technology) ==");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "technology", "capacity", "read [ns]", "write [ns]", "E_wr [nJ]", "area[mm2]"
+    );
+    let mut cells = technologies::all_nvms();
+    cells.push(technologies::sram_baseline());
+    for cell in &cells {
+        let modeler = CacheModeler::new(cell.clone());
+        for capacity in [1 * MB, 2 * MB, 8 * MB, 32 * MB] {
+            let m = modeler.model(capacity)?;
+            println!(
+                "{:<12} {:>8} MB {:>12.3} {:>12.3} {:>12.3} {:>10.3}",
+                m.display_name(),
+                m.capacity.value(),
+                m.read_latency.value(),
+                m.write_latency().value(),
+                m.write_energy.value(),
+                m.area.value()
+            );
+        }
+        println!();
+    }
+
+    println!("== Optimization-target tradeoffs (Chung_S, 2 MB) ==");
+    for target in [
+        OptimizationTarget::ReadLatency,
+        OptimizationTarget::ReadEdp,
+        OptimizationTarget::Area,
+        OptimizationTarget::Leakage,
+    ] {
+        let m = CacheModeler::new(technologies::chung())
+            .target(target)
+            .solve_optimal(2 * MB)?;
+        println!(
+            "{target:>12?}: read {:.3} ns, hit {:.3} nJ, area {:.3} mm², leak {:.3} W",
+            m.read_latency.value(),
+            m.hit_energy.value(),
+            m.area.value(),
+            m.leakage.value()
+        );
+    }
+
+    println!("\n== Fixed-area: largest cache in the SRAM footprint (6.55 mm²) ==");
+    for cell in technologies::all_nvms() {
+        let modeler = CacheModeler::new(cell);
+        let m = fixed_area::paper_fixed_area_model(&modeler)?;
+        println!(
+            "{:<12} {:>6} MB in {:>6.3} mm²  (read {:>6.3} ns, leak {:>6.3} W)",
+            m.display_name(),
+            m.capacity.value(),
+            m.area.value(),
+            m.read_latency.value(),
+            m.leakage.value()
+        );
+    }
+    Ok(())
+}

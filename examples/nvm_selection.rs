@@ -1,0 +1,70 @@
+//! NVM technology selection for a target use case — the design flow the
+//! paper's Section VI motivates: given a workload's memory behaviour,
+//! which NVM should the LLC use?
+//!
+//! ```text
+//! cargo run --release --example nvm_selection [workload]
+//! ```
+
+use nvm_llc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "leela".to_owned());
+    let Some(workload) = workloads::by_name(&target) else {
+        eprintln!("unknown workload `{target}`; known workloads:");
+        for w in workloads::all() {
+            eprintln!("  {}", w.name());
+        }
+        std::process::exit(2);
+    };
+
+    println!(
+        "Selecting an LLC technology for `{}` ({}, {})",
+        workload.name(),
+        workload.suite(),
+        workload.description()
+    );
+
+    // Characterize the use case first (what a designer would profile).
+    let trace = workload.generate(2019, workload.scaled_accesses(30_000));
+    let features = profiler::characterize(workload.name(), &trace);
+    println!("\nMemory behaviour:");
+    println!(
+        "  write entropy {:.2} bits (global), unique writes {:.0}, 90% write footprint {:.0}",
+        features[FeatureKind::GlobalWriteEntropy],
+        features[FeatureKind::UniqueWrites],
+        features[FeatureKind::WriteFootprint90],
+    );
+
+    // Evaluate both sizing strategies.
+    for configuration in Configuration::ALL {
+        let models = configuration.models();
+        let sram = reference::by_name(&models, "SRAM").expect("SRAM row");
+        let nvms: Vec<LlcModel> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+        let row = Evaluator::new(sram, nvms)
+            .base_accesses(30_000)
+            .run_workload(&workload);
+
+        println!("\n== {configuration} ==");
+        println!(
+            "  {:<12} {:>8} {:>8} {:>8}",
+            "technology", "speedup", "energy", "ED^2P"
+        );
+        let mut entries = row.entries.clone();
+        entries.sort_by(|a, b| a.ed2p.partial_cmp(&b.ed2p).expect("finite"));
+        for e in &entries {
+            println!(
+                "  {:<12} {:>8.3} {:>8.3} {:>8.3}",
+                e.llc, e.speedup, e.energy, e.ed2p
+            );
+        }
+        let pick = &entries[0];
+        println!(
+            "  -> pick {} ({}× less LLC energy than SRAM at {:+.1}% performance)",
+            pick.llc,
+            (1.0 / pick.energy).round(),
+            (pick.speedup - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the whole pipeline in one page.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! 1. Load the paper's released NVM cell models (Table II).
+//! 2. Derive an LLC model with the circuit modeler (Table III role).
+//! 3. Replay an AI workload against SRAM and the NVM (Figure 1 role).
+
+use nvm_llc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Cell models ---------------------------------------------------
+    let catalog = Catalog::paper();
+    catalog.validate_all()?;
+    println!("Loaded {} cell models:", catalog.len());
+    for cell in catalog.iter() {
+        println!("  {cell}");
+    }
+
+    // --- 2. Circuit-level LLC model -------------------------------------
+    let zhang = catalog.get("Zhang")?.clone();
+    let modeler = CacheModeler::new(zhang);
+    let llc_2mb = modeler.model(2 * 1024 * 1024)?;
+    println!("\nGenerated 2 MB model:\n  {llc_2mb}");
+    let llc_budget = fixed_area::paper_fixed_area_model(&modeler)?;
+    println!("Largest cache in the SRAM area budget:\n  {llc_budget}");
+
+    // --- 3. System simulation ------------------------------------------
+    let models = reference::fixed_capacity();
+    let sram = reference::by_name(&models, "SRAM").expect("SRAM row");
+    let nvms: Vec<LlcModel> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+    let deepsjeng = workloads::by_name("deepsjeng").expect("Table V workload");
+    let row = Evaluator::new(sram, nvms)
+        .base_accesses(40_000)
+        .run_workload(&deepsjeng);
+
+    println!("\ndeepsjeng (AI) on the quad-core Gainestown, 2 MB LLCs:");
+    println!("  baseline {}", row.baseline);
+    println!(
+        "  {:<12} {:>8} {:>8} {:>8}",
+        "technology", "speedup", "energy", "ED^2P"
+    );
+    for e in &row.entries {
+        println!(
+            "  {:<12} {:>8.3} {:>8.3} {:>8.3}",
+            e.llc, e.speedup, e.energy, e.ed2p
+        );
+    }
+    let best = row.best_energy().expect("non-empty row");
+    println!(
+        "\nMost energy-efficient NVM for deepsjeng: {} ({:.1}% of SRAM LLC energy)",
+        best.llc,
+        best.energy * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Architecture-agnostic workload characterization (the PRISM role).
+//!
+//! ```text
+//! cargo run --release --example workload_characterization
+//! ```
+//!
+//! Generates every characterized workload's trace, extracts the Table VI
+//! features, and prints the measured table next to per-column extremes.
+
+use nvm_llc::prelude::*;
+
+fn main() {
+    let scale = Scale::DEFAULT;
+    println!("Characterizing {} workloads...\n", workloads::characterized().len());
+
+    let mut rows: Vec<FeatureVector> = Vec::new();
+    for w in workloads::characterized() {
+        let trace = w.generate(scale.seed, w.scaled_accesses(scale.base_accesses / 4));
+        rows.push(profiler::characterize(w.name(), &trace));
+    }
+
+    println!(
+        "{:<11} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "bmk", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90%ft_r", "90%ft_w",
+        "r_total", "w_total"
+    );
+    for f in &rows {
+        print!("{:<11}", f.name());
+        for kind in FeatureKind::ALL {
+            let v = f.get(kind);
+            if matches!(
+                kind,
+                FeatureKind::GlobalReadEntropy
+                    | FeatureKind::LocalReadEntropy
+                    | FeatureKind::GlobalWriteEntropy
+                    | FeatureKind::LocalWriteEntropy
+            ) {
+                print!(" {v:>6.2}");
+            } else {
+                print!(" {v:>9.0}");
+            }
+        }
+        println!();
+    }
+
+    // Per-column extremes, the "heatmap" reading of Table VI.
+    println!("\nPer-feature extremes:");
+    for kind in FeatureKind::ALL {
+        let max = rows
+            .iter()
+            .max_by(|a, b| a.get(kind).partial_cmp(&b.get(kind)).unwrap())
+            .unwrap();
+        let min = rows
+            .iter()
+            .min_by(|a, b| a.get(kind).partial_cmp(&b.get(kind)).unwrap())
+            .unwrap();
+        println!(
+            "  {:<9} max {:<11} ({:.3e})   min {:<11} ({:.3e})",
+            kind.label(),
+            max.name(),
+            max.get(kind),
+            min.name(),
+            min.get(kind)
+        );
+    }
+
+    println!("\nPaper reference rows (Table VI) are available via nvm_llc::prism::reference::table_6().");
+}

@@ -1,0 +1,99 @@
+//! End-to-end pipeline test: literature values → heuristics → circuit
+//! model → system simulation → correlation, with nothing taken from the
+//! reference dataset except the SRAM baseline for normalization.
+
+use nvm_llc::prelude::*;
+use nvm_llc::analysis::Outcome;
+
+#[test]
+fn full_pipeline_from_reported_values_to_correlations() {
+    // 1. Complete cell models from reported-only values.
+    let engine = HeuristicEngine::new(nvm_llc::cell::technologies::all_nvms_reported());
+    let (zhang, log) = engine
+        .complete(nvm_llc::cell::technologies::zhang_reported())
+        .expect("zhang completes");
+    assert!(zhang.validate().is_ok());
+    assert!(!log.is_empty());
+
+    // 2. Round-trip the model through the .cell release format.
+    let text = nvm_llc::cell::cellfile::to_string(&zhang);
+    let parsed = nvm_llc::cell::cellfile::from_str(&text).expect("cell file parses");
+    assert_eq!(parsed, zhang);
+
+    // 3. Circuit-level model, fixed-capacity and fixed-area.
+    let modeler = CacheModeler::new(zhang);
+    let fixed_cap = modeler.model(2 * 1024 * 1024).expect("2 MB model");
+    let fixed_area_model =
+        nvm_llc::circuit::fixed_area::paper_fixed_area_model(&modeler).expect("fits budget");
+    assert!(fixed_cap.is_physical());
+    assert!(fixed_area_model.capacity.value() > fixed_cap.capacity.value());
+
+    // 4. Simulate three AI workloads against the SRAM baseline using the
+    //    *generated* model.
+    let sram = reference::by_name(&reference::fixed_capacity(), "SRAM").unwrap();
+    let eval = Evaluator::new(sram, vec![fixed_cap]).base_accesses(6_000);
+    let mut observations = Vec::new();
+    for name in ["deepsjeng", "leela", "exchange2"] {
+        let w = workloads::by_name(name).unwrap();
+        let row = eval.run_workload(&w);
+        let entry = &row.entries[0];
+        assert!(entry.speedup > 0.5 && entry.speedup < 1.5, "{name}");
+        let trace = w.generate(2019, w.scaled_accesses(6_000));
+        observations.push(Observation {
+            features: profiler::characterize(name, &trace),
+            energy: entry.result.llc_energy().value(),
+            speedup: entry.speedup,
+        });
+    }
+
+    // 5. Correlate: with three observations the matrix is well-formed and
+    //    bounded.
+    let matrix = CorrelationMatrix::compute("generated Zhang_R", &observations);
+    assert_eq!(matrix.observations(), 3);
+    for kind in FeatureKind::ALL {
+        for outcome in Outcome::ALL {
+            let v = matrix.get(kind, outcome);
+            assert!((0.0..=1.0).contains(&v), "{kind} {outcome}: {v}");
+        }
+    }
+}
+
+#[test]
+fn generated_and_reference_models_agree_in_simulation() {
+    // Simulating with our generated Xue model must land near the
+    // reference-model simulation (same trace, same baseline).
+    let sram = reference::by_name(&reference::fixed_capacity(), "SRAM").unwrap();
+    let reference_xue = reference::by_name(&reference::fixed_capacity(), "Xue").unwrap();
+    let generated_xue = CacheModeler::new(nvm_llc::cell::technologies::xue())
+        .model(2 * 1024 * 1024)
+        .unwrap();
+
+    let w = workloads::by_name("tonto").unwrap();
+    let row_ref = Evaluator::new(sram.clone(), vec![reference_xue])
+        .base_accesses(8_000)
+        .run_workload(&w);
+    let row_gen = Evaluator::new(sram, vec![generated_xue])
+        .base_accesses(8_000)
+        .run_workload(&w);
+
+    let (r, g) = (&row_ref.entries[0], &row_gen.entries[0]);
+    assert!((r.speedup - g.speedup).abs() < 0.1, "{} vs {}", r.speedup, g.speedup);
+    let energy_ratio = g.energy / r.energy;
+    assert!(
+        (0.2..=5.0).contains(&energy_ratio),
+        "energy ratio {energy_ratio}"
+    );
+}
+
+#[test]
+fn catalog_cell_release_round_trips_in_bulk() {
+    let catalog = Catalog::paper();
+    let bundle = nvm_llc::cell::cellfile::catalog_to_string(&catalog);
+    let cells = nvm_llc::cell::cellfile::parse_many(&bundle).expect("bulk parse");
+    assert_eq!(cells.len(), 11);
+    let rebuilt: Catalog = cells.into_iter().collect();
+    assert_eq!(rebuilt.len(), catalog.len());
+    for cell in catalog.iter() {
+        assert_eq!(rebuilt.get(cell.name()).unwrap(), cell);
+    }
+}
