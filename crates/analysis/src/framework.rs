@@ -68,10 +68,7 @@ impl CorrelationMatrix {
         let energies: Vec<f64> = observations.iter().map(|o| o.energy).collect();
         let speedups: Vec<f64> = observations.iter().map(|o| o.speedup).collect();
         for kind in FeatureKind::ALL {
-            let xs: Vec<f64> = observations
-                .iter()
-                .map(|o| o.features.get(kind))
-                .collect();
+            let xs: Vec<f64> = observations.iter().map(|o| o.features.get(kind)).collect();
             values[kind.index()][0] = abs_pearson_or_zero(&xs, &energies);
             values[kind.index()][1] = abs_pearson_or_zero(&xs, &speedups);
         }
@@ -171,9 +168,21 @@ mod tests {
     /// inversely.
     fn synthetic() -> Vec<Observation> {
         vec![
-            obs([1.0, 1.0, 10.0, 1.0, 5.0, 5.0, 5.0, 5.0, 100.0, 7.0], 10.0, 3.0),
-            obs([2.0, 1.5, 20.0, 2.0, 5.0, 6.0, 4.0, 5.0, 200.0, 7.5], 20.0, 2.0),
-            obs([1.5, 1.2, 30.0, 3.0, 5.5, 5.5, 4.5, 5.0, 300.0, 7.2], 30.0, 1.0),
+            obs(
+                [1.0, 1.0, 10.0, 1.0, 5.0, 5.0, 5.0, 5.0, 100.0, 7.0],
+                10.0,
+                3.0,
+            ),
+            obs(
+                [2.0, 1.5, 20.0, 2.0, 5.0, 6.0, 4.0, 5.0, 200.0, 7.5],
+                20.0,
+                2.0,
+            ),
+            obs(
+                [1.5, 1.2, 30.0, 3.0, 5.5, 5.5, 4.5, 5.0, 300.0, 7.2],
+                30.0,
+                1.0,
+            ),
         ]
     }
 

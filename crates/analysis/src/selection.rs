@@ -111,17 +111,23 @@ fn fit_r_squared(observations: &[Observation], features: &[FeatureKind], y: &[f6
     // Gaussian elimination with partial pivoting.
     for col in 0..dim {
         let pivot = (col..dim)
-            .max_by(|&p, &q| a[p][col].abs().partial_cmp(&a[q][col].abs()).expect("finite"))
+            .max_by(|&p, &q| {
+                a[p][col]
+                    .abs()
+                    .partial_cmp(&a[q][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         if a[pivot][col].abs() < 1e-12 {
             return single_feature_fallback(observations, features, y);
         }
         a.swap(col, pivot);
-        for row in 0..dim {
+        let pivot_row = a[col][col..=dim].to_vec();
+        for (row, rowvec) in a.iter_mut().enumerate().take(dim) {
             if row != col {
-                let factor = a[row][col] / a[col][col];
-                for c in col..=dim {
-                    a[row][c] -= factor * a[col][c];
+                let factor = rowvec[col] / pivot_row[0];
+                for (v, p) in rowvec[col..=dim].iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
                 }
             }
         }

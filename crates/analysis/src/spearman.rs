@@ -6,8 +6,7 @@ use crate::pearson::pearson;
 
 /// Average ranks of a series (ties share the mean of their positions).
 fn ranks(values: &[f64]) -> Vec<f64> {
-    let mut indexed: Vec<(usize, f64)> =
-        values.iter().copied().enumerate().collect();
+    let mut indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
     indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;

@@ -12,9 +12,8 @@ use nvm_llc_bench::print_artifact;
 
 fn bench(c: &mut Criterion) {
     // --- Off-critical-path ablation -------------------------------------
-    let mut body = String::from(
-        "Write-policy ablation: slowdown vs off-critical-path (paper §V-A.7)\n",
-    );
+    let mut body =
+        String::from("Write-policy ablation: slowdown vs off-critical-path (paper §V-A.7)\n");
     body.push_str(&format!(
         "{:<12} {:>16} {:>16} {:>12}\n",
         "technology", "port-contention", "blocking", "write [ns]"
@@ -23,13 +22,11 @@ fn bench(c: &mut Criterion) {
     for name in ["SRAM", "Xue", "Hayakawa", "Kang", "Zhang"] {
         let llc = reference::by_name(&reference::fixed_capacity(), name).unwrap();
         let run = |policy| {
-            System::new(
-                ArchConfig::gainestown(llc.clone()).with_llc_write_policy(policy),
-            )
-            .with_warmup(0.25)
-            .run(&trace)
-            .exec_time
-            .value()
+            System::new(ArchConfig::gainestown(llc.clone()).with_llc_write_policy(policy))
+                .with_warmup(0.25)
+                .run(&trace)
+                .exec_time
+                .value()
         };
         let off = run(LlcWritePolicy::OffCriticalPath);
         let port = run(LlcWritePolicy::PortContention);
@@ -72,17 +69,25 @@ fn bench(c: &mut Criterion) {
 ",
     );
     let kang = reference::by_name(&reference::fixed_capacity(), "Kang").unwrap();
-    let trace = workloads::by_name("deepsjeng").unwrap().generate(2019, 60_000);
+    let trace = workloads::by_name("deepsjeng")
+        .unwrap()
+        .generate(2019, 60_000);
     let base = System::new(ArchConfig::gainestown(kang.clone()))
         .with_warmup(0.25)
         .run(&trace);
     let cases: [(&str, ArchConfig); 3] = [
-        ("differential writes (40% flips)",
-            ArchConfig::gainestown(kang.clone()).with_differential_writes(0.4)),
-        ("dead-block bypass",
-            ArchConfig::gainestown(kang.clone()).with_llc_bypass()),
-        ("detailed DRAM backend",
-            ArchConfig::gainestown(kang.clone()).with_detailed_dram()),
+        (
+            "differential writes (40% flips)",
+            ArchConfig::gainestown(kang.clone()).with_differential_writes(0.4),
+        ),
+        (
+            "dead-block bypass",
+            ArchConfig::gainestown(kang.clone()).with_llc_bypass(),
+        ),
+        (
+            "detailed DRAM backend",
+            ArchConfig::gainestown(kang.clone()).with_detailed_dram(),
+        ),
     ];
     body.push_str(&format!(
         "{:<32} {:>10} {:>10} {:>10}
@@ -153,10 +158,22 @@ fn bench(c: &mut Criterion) {
         .with_warmup(0.25)
         .run(&trace);
     let knob_cases: [(&str, ArchConfig); 4] = [
-        ("10 MSHRs", ArchConfig::gainestown(llc.clone()).with_mshrs(10)),
-        ("1 MSHR (serialized misses)", ArchConfig::gainestown(llc.clone()).with_mshrs(1)),
-        ("inclusive LLC", ArchConfig::gainestown(llc.clone()).with_inclusive_llc()),
-        ("L2 next-line prefetch", ArchConfig::gainestown(llc.clone()).with_l2_prefetch()),
+        (
+            "10 MSHRs",
+            ArchConfig::gainestown(llc.clone()).with_mshrs(10),
+        ),
+        (
+            "1 MSHR (serialized misses)",
+            ArchConfig::gainestown(llc.clone()).with_mshrs(1),
+        ),
+        (
+            "inclusive LLC",
+            ArchConfig::gainestown(llc.clone()).with_inclusive_llc(),
+        ),
+        (
+            "L2 next-line prefetch",
+            ArchConfig::gainestown(llc.clone()).with_l2_prefetch(),
+        ),
     ];
     body.push_str(&format!(
         "{:<30} {:>8} {:>10} {:>14}

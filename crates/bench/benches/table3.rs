@@ -2,8 +2,8 @@
 //! Table IV (architecture), timing the circuit modeler.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nvm_llc::circuit::CacheModeler;
 use nvm_llc::cell::technologies;
+use nvm_llc::circuit::CacheModeler;
 use nvm_llc::experiments::{table3, table4};
 use nvm_llc_bench::print_artifact;
 
@@ -16,12 +16,17 @@ fn bench(c: &mut Criterion) {
         result.geomean_ratio(|m| m.leakage.value()),
         result.geomean_ratio(|m| m.area.value()),
     );
-    print_artifact("Table IV — simulated architecture", &table4::render_default());
+    print_artifact(
+        "Table IV — simulated architecture",
+        &table4::render_default(),
+    );
 
     c.bench_function("model_2mb_llc_all_technologies", |b| {
         b.iter(|| {
             for cell in technologies::all_nvms() {
-                let m = CacheModeler::new(cell).model(2 * 1024 * 1024).expect("models");
+                let m = CacheModeler::new(cell)
+                    .model(2 * 1024 * 1024)
+                    .expect("models");
                 std::hint::black_box(m);
             }
         })

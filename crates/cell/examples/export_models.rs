@@ -8,7 +8,9 @@
 use nvm_llc_cell::{cellfile, Catalog};
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "models".to_owned());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "models".to_owned());
     let catalog = Catalog::paper();
     cellfile::write_catalog_dir(&catalog, std::path::Path::new(&dir))?;
     println!("wrote {} .cell files to {dir}/", catalog.len());

@@ -96,7 +96,9 @@ impl Catalog {
 
     /// The non-volatile models only, in insertion order.
     pub fn nvms(&self) -> Vec<&CellParams> {
-        self.iter().filter(|c| c.class().is_non_volatile()).collect()
+        self.iter()
+            .filter(|c| c.class().is_non_volatile())
+            .collect()
     }
 
     /// Validates every model in the catalog.
@@ -197,7 +199,7 @@ mod tests {
     fn collects_from_iterator() {
         let c: Catalog = crate::technologies::all_nvms().into_iter().collect();
         assert_eq!(c.len(), 10);
-        assert!(c.is_empty() == false);
+        assert!(!c.is_empty());
     }
 
     #[test]

@@ -71,11 +71,7 @@ pub fn to_string(cell: &CellParams) -> String {
 
 /// Serializes a whole catalog, models separated by blank lines.
 pub fn catalog_to_string(catalog: &crate::catalog::Catalog) -> String {
-    catalog
-        .iter()
-        .map(to_string)
-        .collect::<Vec<_>>()
-        .join("\n")
+    catalog.iter().map(to_string).collect::<Vec<_>>().join("\n")
 }
 
 /// Writes the catalog as a model-release directory: one
@@ -111,8 +107,8 @@ pub fn read_catalog_dir(dir: &std::path::Path) -> std::io::Result<crate::catalog
     entries.sort_by_key(|e| e.path());
     for entry in entries {
         let text = std::fs::read_to_string(entry.path())?;
-        let cell = from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let cell =
+            from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         cells.push(cell);
     }
     Ok(cells.into_iter().collect())

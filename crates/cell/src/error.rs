@@ -67,10 +67,7 @@ impl fmt::Display for CellError {
                 technology,
                 param,
                 value,
-            } => write!(
-                f,
-                "`{technology}` has non-physical {param} = {value}"
-            ),
+            } => write!(f, "`{technology}` has non-physical {param} = {value}"),
             CellError::Inapplicable { technology, param } => {
                 write!(f, "{param} does not apply to `{technology}`'s class")
             }

@@ -254,9 +254,7 @@ impl HeuristicEngine {
         self.donors
             .iter()
             .filter(|d| {
-                d.class() == cell.class()
-                    && d.name() != cell.name()
-                    && d.get(param).is_some()
+                d.class() == cell.class() && d.name() != cell.name() && d.get(param).is_some()
             })
             .collect()
     }
@@ -284,10 +282,7 @@ impl HeuristicEngine {
             // All donors sit at one node: no trend; defer to similarity.
             return None;
         }
-        let sxy: f64 = points
-            .iter()
-            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-            .sum();
+        let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
         let slope = sxy / sxx;
         let value = mean_y + slope * (target - mean_x);
         if !value.is_finite() || value <= 0.0 {

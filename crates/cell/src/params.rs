@@ -533,12 +533,12 @@ impl CellParams {
     /// `I · V · t` with the supplied access voltage when only currents are
     /// reported.
     pub fn worst_write_energy(&self, access_voltage: Volts) -> Option<Picojoules> {
-        let set = self.set_energy.or_else(|| {
-            Some(self.set_current? * self.set_pulse? * access_voltage)
-        });
-        let reset = self.reset_energy.or_else(|| {
-            Some(self.reset_current? * self.reset_pulse? * access_voltage)
-        });
+        let set = self
+            .set_energy
+            .or_else(|| Some(self.set_current? * self.set_pulse? * access_voltage));
+        let reset = self
+            .reset_energy
+            .or_else(|| Some(self.reset_current? * self.reset_pulse? * access_voltage));
         match (set, reset) {
             (Some(s), Some(r)) => Some(s.max(r)),
             (Some(s), None) => Some(s),
@@ -734,7 +734,10 @@ mod tests {
     #[test]
     fn builder_records_reported_provenance() {
         let cell = demo_sttram();
-        assert_eq!(cell.provenance(Param::ReadVoltage), Some(Provenance::Reported));
+        assert_eq!(
+            cell.provenance(Param::ReadVoltage),
+            Some(Provenance::Reported)
+        );
         assert_eq!(cell.derived_count(), 0);
     }
 

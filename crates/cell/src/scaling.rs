@@ -135,8 +135,7 @@ mod tests {
 
     #[test]
     fn shrink_reduces_current_and_energy() {
-        let kang22 =
-            project_to_node(&technologies::kang(), Nanometers::new(22.0)).unwrap();
+        let kang22 = project_to_node(&technologies::kang(), Nanometers::new(22.0)).unwrap();
         let kang = technologies::kang();
         assert!(kang22.reset_current().unwrap().value() < kang.reset_current().unwrap().value());
         assert!(kang22.read_energy().unwrap().value() < kang.read_energy().unwrap().value());
@@ -145,7 +144,10 @@ mod tests {
             kang22.set_pulse().unwrap().value(),
             kang.set_pulse().unwrap().value()
         );
-        assert_eq!(kang22.cell_size().unwrap().value(), kang.cell_size().unwrap().value());
+        assert_eq!(
+            kang22.cell_size().unwrap().value(),
+            kang.cell_size().unwrap().value()
+        );
     }
 
     #[test]
@@ -208,12 +210,15 @@ mod tests {
     fn scaled_cell_feeds_the_circuit_heuristics() {
         // Energy relation still holds after scaling: E ≈ I·V·t within the
         // projection's own consistency.
-        let chung22 =
-            project_to_node(&technologies::chung(), Nanometers::new(27.0)).unwrap();
+        let chung22 = project_to_node(&technologies::chung(), Nanometers::new(27.0)).unwrap();
         let i = chung22.reset_current().unwrap().value();
         let v = chung22.read_voltage().unwrap().value();
         let t = chung22.reset_pulse().unwrap().value();
         let e = chung22.reset_energy().unwrap().value();
-        assert!((i * v * t * 1e-3 - e).abs() / e < 1e-9, "{} vs {e}", i * v * t * 1e-3);
+        assert!(
+            (i * v * t * 1e-3 - e).abs() / e < 1e-9,
+            "{} vs {e}",
+            i * v * t * 1e-3
+        );
     }
 }

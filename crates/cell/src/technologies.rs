@@ -313,10 +313,7 @@ mod tests {
         let names: Vec<_> = all_nvms().iter().map(|c| c.name().to_owned()).collect();
         assert_eq!(
             names,
-            [
-                "Oh", "Chen", "Kang", "Close", "Chung", "Jan", "Umeki", "Xue", "Hayakawa",
-                "Zhang"
-            ]
+            ["Oh", "Chen", "Kang", "Close", "Chung", "Jan", "Umeki", "Xue", "Hayakawa", "Zhang"]
         );
     }
 
@@ -373,7 +370,10 @@ mod tests {
     #[test]
     fn kang_set_current_is_similarity_from_oh() {
         let k = kang();
-        assert_eq!(k.set_current().unwrap().value(), oh().set_current().unwrap().value());
+        assert_eq!(
+            k.set_current().unwrap().value(),
+            oh().set_current().unwrap().value()
+        );
         assert_eq!(
             k.provenance(Param::SetCurrent),
             Some(Provenance::Similarity)

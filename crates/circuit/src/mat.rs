@@ -191,9 +191,9 @@ pub fn model_mat(cell: &CellParams, org: &CacheOrganization) -> Result<MatModel,
 fn read_bit_energy_pj(cell: &CellParams, tech: &ProcessTech) -> Result<f64, CircuitError> {
     let class = cell.class();
     Ok(match class {
-        MemClass::Sram => SRAM_BIT_ENERGY_PJ_AT_ANCHOR * tech.node.value()
-            / crate::technology::ANCHOR_NM
-            * 0.5,
+        MemClass::Sram => {
+            SRAM_BIT_ENERGY_PJ_AT_ANCHOR * tech.node.value() / crate::technology::ANCHOR_NM * 0.5
+        }
         MemClass::Pcram => {
             cell.read_energy()
                 .ok_or_else(|| missing(cell, nvm_llc_cell::Param::ReadEnergy))?
@@ -217,8 +217,9 @@ fn read_bit_energy_pj(cell: &CellParams, tech: &ProcessTech) -> Result<f64, Circ
 fn write_bit_energy_pj(cell: &CellParams, tech: &ProcessTech) -> Result<f64, CircuitError> {
     let class = cell.class();
     match class {
-        MemClass::Sram => Ok(SRAM_BIT_ENERGY_PJ_AT_ANCHOR * tech.node.value()
-            / crate::technology::ANCHOR_NM),
+        MemClass::Sram => {
+            Ok(SRAM_BIT_ENERGY_PJ_AT_ANCHOR * tech.node.value() / crate::technology::ANCHOR_NM)
+        }
         MemClass::Pcram => {
             let set = cell
                 .set_current()

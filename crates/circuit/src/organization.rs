@@ -201,7 +201,10 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheOrganization::new(3_000_000, 64, 16, 4, 4),
-            Err(CircuitError::NotPowerOfTwo { what: "capacity", .. })
+            Err(CircuitError::NotPowerOfTwo {
+                what: "capacity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheOrganization::new(1 << 21, 64, 16, 3, 4),
@@ -244,7 +247,10 @@ mod tests {
     #[test]
     fn mlc_halves_rows_and_cols() {
         let org = two_mb();
-        assert_eq!(org.mat_rows(2) * 2 * org.mat_cols(2), org.data_bits_per_mat());
+        assert_eq!(
+            org.mat_rows(2) * 2 * org.mat_cols(2),
+            org.data_bits_per_mat()
+        );
         assert_eq!(org.mat_cols(1), 512);
         assert_eq!(org.mat_cols(2), 256);
     }
@@ -255,9 +261,7 @@ mod tests {
         assert!(c.len() > 10);
         assert!(c.iter().all(|o| o.capacity_bytes() == 2 * 1024 * 1024));
         // All candidate mats can hold at least one block.
-        assert!(c
-            .iter()
-            .all(|o| o.data_bits_per_mat() >= 512));
+        assert!(c.iter().all(|o| o.data_bits_per_mat() >= 512));
     }
 
     #[test]

@@ -109,7 +109,11 @@ impl CacheModeler {
         capacity_bytes: u64,
     ) -> Result<CacheOrganization, CircuitError> {
         const TARGET_MAT_BYTES: u64 = 128 * 1024;
-        let banks: u32 = if capacity_bytes >= 4 * 1024 * 1024 { 4 } else { 2 };
+        let banks: u32 = if capacity_bytes >= 4 * 1024 * 1024 {
+            4
+        } else {
+            2
+        };
         let mats_total = (capacity_bytes / TARGET_MAT_BYTES).max(1);
         let mats_per_bank = (mats_total / u64::from(banks)).max(1).next_power_of_two() as u32;
         CacheOrganization::new(
@@ -168,14 +172,12 @@ impl CacheModeler {
     /// Propagates cell-completeness errors from the mat model.
     pub fn model_with(&self, org: &CacheOrganization) -> Result<LlcModel, CircuitError> {
         let cell = &self.cell;
-        let process = cell
-            .process()
-            .ok_or(CircuitError::IncompleteCell(
-                nvm_llc_cell::CellError::MissingParam {
-                    technology: cell.name().to_owned(),
-                    param: nvm_llc_cell::Param::Process,
-                },
-            ))?;
+        let process = cell.process().ok_or(CircuitError::IncompleteCell(
+            nvm_llc_cell::CellError::MissingParam {
+                technology: cell.name().to_owned(),
+                param: nvm_llc_cell::Param::Process,
+            },
+        ))?;
         let tech = ProcessTech::at(process);
         let mat = model_mat(cell, org)?;
         let mats = org.total_mats();
@@ -183,16 +185,15 @@ impl CacheModeler {
 
         // --- Area -----------------------------------------------------------
         let data_area = mat.area_mm2 * f64::from(mats);
-        let tag_area = data_area * org.tag_bits_total() as f64
-            / (org.capacity_bytes() as f64 * 8.0);
+        let tag_area =
+            data_area * org.tag_bits_total() as f64 / (org.capacity_bytes() as f64 * 8.0);
         let area_mm2 = data_area + tag_area;
 
         // --- H-tree and equations (4)/(5) ---------------------------------
         let htree = model_htree(&tech, mats, area_mm2, block_bits);
         let read_latency = Nanoseconds::new(2.0 * htree.latency_ns + mat.read_latency_ns);
         let write_latency_set = Nanoseconds::new(htree.latency_ns + mat.write_latency_set_ns);
-        let write_latency_reset =
-            Nanoseconds::new(htree.latency_ns + mat.write_latency_reset_ns);
+        let write_latency_reset = Nanoseconds::new(htree.latency_ns + mat.write_latency_reset_ns);
 
         // --- Tag path -------------------------------------------------------
         let tag_latency = self.tag_latency(&tech, org, area_mm2);
@@ -201,12 +202,11 @@ impl CacheModeler {
         // --- Equations (6)–(8) ---------------------------------------------
         let hit_energy = Nanojoules::new(tag_energy_nj + mat.read_energy_nj + htree.energy_nj);
         let miss_energy = Nanojoules::new(tag_energy_nj);
-        let write_energy =
-            Nanojoules::new(tag_energy_nj + mat.write_energy_nj + htree.energy_nj);
+        let write_energy = Nanojoules::new(tag_energy_nj + mat.write_energy_nj + htree.energy_nj);
 
         // --- Leakage ----------------------------------------------------
-        let tag_leak_scale = 1.0 + org.tag_bits_total() as f64
-            / (org.capacity_bytes() as f64 * 8.0);
+        let tag_leak_scale =
+            1.0 + org.tag_bits_total() as f64 / (org.capacity_bytes() as f64 * 8.0);
         let leakage = Watts::new(mat.leakage_w * f64::from(mats) * tag_leak_scale);
 
         Ok(LlcModel {
@@ -314,10 +314,7 @@ mod tests {
 
     #[test]
     fn zhang_is_smallest_sram_write_is_fastest() {
-        let models: Vec<_> = technologies::all_nvms()
-            .into_iter()
-            .map(model_of)
-            .collect();
+        let models: Vec<_> = technologies::all_nvms().into_iter().map(model_of).collect();
         let sram = model_of(technologies::sram_baseline());
         let min_area = models
             .iter()

@@ -106,8 +106,7 @@ mod tests {
     #[test]
     fn associativity_sweep_raises_tag_energy() {
         // More ways = more tags sensed per lookup (E_dyn,tag grows).
-        let points =
-            sweep_associativity(&technologies::xue(), 2 * MB, &[4, 8, 16, 32]).unwrap();
+        let points = sweep_associativity(&technologies::xue(), 2 * MB, &[4, 8, 16, 32]).unwrap();
         for pair in points.windows(2) {
             assert!(
                 pair[1].1.miss_energy.value() > pair[0].1.miss_energy.value(),
@@ -123,8 +122,7 @@ mod tests {
     #[test]
     fn block_size_sweep_raises_write_energy() {
         // Bigger blocks = more bits per array write.
-        let points =
-            sweep_block_size(&technologies::kang(), 2 * MB, &[32, 64, 128]).unwrap();
+        let points = sweep_block_size(&technologies::kang(), 2 * MB, &[32, 64, 128]).unwrap();
         for pair in points.windows(2) {
             assert!(pair[1].1.write_energy.value() > pair[0].1.write_energy.value());
         }

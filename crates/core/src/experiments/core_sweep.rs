@@ -88,9 +88,14 @@ impl CoreSweep {
             v
         };
         for workload in workloads {
-            let points: Vec<&SweepPoint> =
-                self.points.iter().filter(|p| p.workload == workload).collect();
-            let Some(first) = points.first() else { continue };
+            let points: Vec<&SweepPoint> = self
+                .points
+                .iter()
+                .filter(|p| p.workload == workload)
+                .collect();
+            let Some(first) = points.first() else {
+                continue;
+            };
             let mut headers = vec!["cores".to_owned()];
             headers.extend(first.row.entries.iter().map(|e| e.llc.clone()));
             let mut speed = TextTable::new(headers.clone());

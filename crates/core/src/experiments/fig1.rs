@@ -38,7 +38,9 @@ pub fn run_configuration(configuration: Configuration, scale: Scale) -> Figure {
 impl Figure {
     /// All rows, single-threaded first.
     pub fn all_rows(&self) -> impl Iterator<Item = &MatrixRow> {
-        self.single_threaded.iter().chain(self.multi_threaded.iter())
+        self.single_threaded
+            .iter()
+            .chain(self.multi_threaded.iter())
     }
 
     /// The row for one workload.
@@ -77,8 +79,16 @@ impl Figure {
     /// Renders the whole figure.
     pub fn render(&self) -> String {
         let (fig, a, b) = match self.configuration {
-            Configuration::FixedCapacity => ("Figure 1", "Fig 1a (single-threaded)", "Fig 1b (multi-threaded)"),
-            Configuration::FixedArea => ("Figure 2", "Fig 2a (single-threaded)", "Fig 2b (multi-threaded)"),
+            Configuration::FixedCapacity => (
+                "Figure 1",
+                "Fig 1a (single-threaded)",
+                "Fig 1b (multi-threaded)",
+            ),
+            Configuration::FixedArea => (
+                "Figure 2",
+                "Fig 2a (single-threaded)",
+                "Fig 2b (multi-threaded)",
+            ),
         };
         format!(
             "{fig} — Gainestown with {} LLC\n{}{}",
@@ -201,7 +211,10 @@ mod tests {
             }
         }
         assert!(jan_best >= 3, "Jan best in only {jan_best}/{rows} rows");
-        assert!(jan_top3 * 2 > rows, "Jan top-3 in only {jan_top3}/{rows} rows");
+        assert!(
+            jan_top3 * 2 > rows,
+            "Jan top-3 in only {jan_top3}/{rows} rows"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn run(scale: Scale) -> Fig4 {
     let features: Vec<FeatureVector> = characterized
         .iter()
         .map(|w| {
-            let trace = w.generate(scale.seed, w.scaled_accesses(scale.base_accesses));
+            let trace = w.generate_shared(scale.seed, w.scaled_accesses(scale.base_accesses));
             profiler::characterize(w.name(), &trace)
         })
         .collect();
@@ -133,27 +133,33 @@ impl Fig4 {
             FeatureKind::UniqueWrites,
             FeatureKind::WriteFootprint90,
         ];
-        mean(self.ai_panels.iter().map(|(_, m)| {
-            m.mean_correlation(&write, Outcome::Energy)
-        }))
+        mean(
+            self.ai_panels
+                .iter()
+                .map(|(_, m)| m.mean_correlation(&write, Outcome::Energy)),
+        )
     }
 
     /// Mean |correlation| of the total-reads/total-writes features with
     /// energy across the AI panels (the paper: "negligibly correlated").
     pub fn ai_totals_strength(&self) -> f64 {
         let totals = [FeatureKind::TotalReads, FeatureKind::TotalWrites];
-        mean(self.ai_panels.iter().map(|(_, m)| {
-            m.mean_correlation(&totals, Outcome::Energy)
-        }))
+        mean(
+            self.ai_panels
+                .iter()
+                .map(|(_, m)| m.mean_correlation(&totals, Outcome::Energy)),
+        )
     }
 
     /// Mean |correlation| of the totals with energy across the
     /// general-purpose panels (the paper: totals dominate there).
     pub fn general_totals_strength(&self) -> f64 {
         let totals = [FeatureKind::TotalReads, FeatureKind::TotalWrites];
-        mean(self.general_panels.iter().map(|(_, m)| {
-            m.mean_correlation(&totals, Outcome::Energy)
-        }))
+        mean(
+            self.general_panels
+                .iter()
+                .map(|(_, m)| m.mean_correlation(&totals, Outcome::Energy)),
+        )
     }
 
     /// Renders every panel heatmap.
@@ -229,10 +235,7 @@ mod tests {
         let f = fig();
         let write = f.ai_write_feature_strength();
         let totals = f.ai_totals_strength();
-        assert!(
-            write > totals,
-            "write features {write} vs totals {totals}"
-        );
+        assert!(write > totals, "write features {write} vs totals {totals}");
         assert!(write > 0.6, "write-feature strength only {write}");
     }
 

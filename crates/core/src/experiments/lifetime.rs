@@ -40,7 +40,8 @@ pub fn run(scale: Scale) -> Lifetime {
     let mut cells = Vec::new();
     for name in LIFETIME_WORKLOADS {
         let workload = workloads::by_name(name).unwrap_or_else(|| panic!("workload {name}"));
-        let trace = workload.generate(scale.seed, workload.scaled_accesses(scale.base_accesses));
+        let trace =
+            workload.generate_shared(scale.seed, workload.scaled_accesses(scale.base_accesses));
         for model in &models {
             if model.name == "SRAM" {
                 continue;

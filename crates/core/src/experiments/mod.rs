@@ -20,9 +20,9 @@
 pub mod core_sweep;
 pub mod dl_extension;
 pub mod fig1;
-pub mod lifetime;
 pub mod fig2;
 pub mod fig4;
+pub mod lifetime;
 pub mod selection;
 pub mod table2;
 pub mod table3;
@@ -46,8 +46,7 @@ pub enum Configuration {
 
 impl Configuration {
     /// Both configurations, fixed-capacity first (the paper's order).
-    pub const ALL: [Configuration; 2] =
-        [Configuration::FixedCapacity, Configuration::FixedArea];
+    pub const ALL: [Configuration; 2] = [Configuration::FixedCapacity, Configuration::FixedArea];
 
     /// The paper's Table III model set for this configuration.
     pub fn models(self) -> Vec<LlcModel> {
@@ -123,9 +122,7 @@ pub(crate) mod shared {
 
     pub fn core_sweep() -> &'static super::core_sweep::CoreSweep {
         static CELL: OnceLock<super::core_sweep::CoreSweep> = OnceLock::new();
-        CELL.get_or_init(|| {
-            super::core_sweep::run_with(SCALE, &[1, 4, 8], &["ft", "mg"])
-        })
+        CELL.get_or_init(|| super::core_sweep::run_with(SCALE, &[1, 4, 8], &["ft", "mg"]))
     }
 }
 

@@ -2,10 +2,10 @@
 //! features are most useful": for each studied NVM, which minimal feature
 //! subset predicts its LLC energy across the characterized workloads?
 
+use nvm_llc_analysis::Observation;
 use nvm_llc_analysis::{forward_select, SelectionStep};
 use nvm_llc_prism::{profiler, FeatureVector};
 use nvm_llc_sim::MatrixRow;
-use nvm_llc_analysis::Observation;
 use nvm_llc_trace::workloads;
 
 use crate::experiments::{evaluator, fig4::STUDY_NVMS, Configuration};
@@ -25,7 +25,7 @@ pub fn run(scale: Scale) -> Selection {
     let features: Vec<FeatureVector> = characterized
         .iter()
         .map(|w| {
-            let trace = w.generate(scale.seed, w.scaled_accesses(scale.base_accesses));
+            let trace = w.generate_shared(scale.seed, w.scaled_accesses(scale.base_accesses));
             profiler::characterize(w.name(), &trace)
         })
         .collect();
@@ -59,8 +59,7 @@ fn collect(rows: &[MatrixRow], features: &[FeatureVector], nvm: &str) -> Vec<Obs
 impl Selection {
     /// Renders the selection traces.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Feature selection — minimal subsets predicting LLC energy\n");
+        let mut out = String::from("Feature selection — minimal subsets predicting LLC energy\n");
         for (nvm, configuration, steps) in &self.traces {
             out.push_str(&format!("{nvm} ({configuration}): "));
             if steps.is_empty() {

@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn render_contains_all_technologies_and_markers() {
         let text = run().render();
-        for name in ["Oh", "Chen", "Kang", "Close", "Chung", "Jan", "Umeki", "Xue", "Hayakawa", "Zhang"] {
+        for name in [
+            "Oh", "Chen", "Kang", "Close", "Chung", "Jan", "Umeki", "Xue", "Hayakawa", "Zhang",
+        ] {
             assert!(text.contains(name), "{name} missing");
         }
         assert!(text.contains('†'));
@@ -137,11 +139,7 @@ mod tests {
     #[test]
     fn xue_rederivation_is_exact() {
         let t = run();
-        let (xue, log) = t
-            .rederived
-            .iter()
-            .find(|(c, _)| c.name() == "Xue")
-            .unwrap();
+        let (xue, log) = t.rederived.iter().find(|(c, _)| c.name() == "Xue").unwrap();
         assert!(log.is_empty());
         assert_eq!(xue, &technologies::xue());
     }

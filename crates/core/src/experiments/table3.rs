@@ -47,8 +47,8 @@ pub fn run() -> Table3 {
         let generated_cap = modeler
             .model(2 * 1024 * 1024)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let generated_area = fixed_area::paper_fixed_area_model(&modeler)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let generated_area =
+            fixed_area::paper_fixed_area_model(&modeler).unwrap_or_else(|e| panic!("{name}: {e}"));
         fixed_capacity.push(ModelPair {
             reference: reference::by_name(&ref_cap, &name).expect("reference row"),
             generated: generated_cap,

@@ -39,7 +39,7 @@ pub fn run(scale: Scale) -> Table5 {
         .into_iter()
         .map(|workload| {
             let accesses = workload.scaled_accesses(scale.base_accesses);
-            let trace = workload.generate(scale.seed, accesses);
+            let trace = workload.generate_shared(scale.seed, accesses);
             let result = system.run(&trace);
             Table5Row { workload, result }
         })

@@ -22,7 +22,7 @@ pub fn run(scale: Scale) -> Table6 {
         .into_iter()
         .map(|w| {
             let accesses = w.scaled_accesses(scale.base_accesses);
-            let trace = w.generate(scale.seed, accesses);
+            let trace = w.generate_shared(scale.seed, accesses);
             profiler::characterize(w.name(), &trace)
         })
         .collect();

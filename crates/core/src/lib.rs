@@ -44,18 +44,18 @@ pub mod tables;
 
 pub use scale::Scale;
 
+/// Re-export of the correlation-analysis crate.
+pub use nvm_llc_analysis as analysis;
 /// Re-export of the cell-model crate.
 pub use nvm_llc_cell as cell;
 /// Re-export of the circuit-model crate.
 pub use nvm_llc_circuit as circuit;
-/// Re-export of the trace/workload crate.
-pub use nvm_llc_trace as trace;
 /// Re-export of the characterization crate.
 pub use nvm_llc_prism as prism;
 /// Re-export of the simulator crate.
 pub use nvm_llc_sim as sim;
-/// Re-export of the correlation-analysis crate.
-pub use nvm_llc_analysis as analysis;
+/// Re-export of the trace/workload crate.
+pub use nvm_llc_trace as trace;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -66,8 +66,8 @@ pub mod prelude {
     pub use nvm_llc_circuit::{fixed_area, reference, CacheModeler, LlcModel};
     pub use nvm_llc_prism::{profiler, FeatureKind, FeatureVector};
     pub use nvm_llc_sim::{
-        simulate_hybrid, ArchConfig, Evaluator, HybridConfig, LlcWritePolicy, SimResult,
-        System, WearPolicy, WriteMode,
+        simulate_hybrid, ArchConfig, Evaluator, HybridConfig, LlcWritePolicy, SimResult, System,
+        WearPolicy, WriteMode,
     };
     pub use nvm_llc_trace::{workloads, Trace, WorkloadProfile};
 }

@@ -47,8 +47,10 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
-        assert!(Scale::SMOKE.base_accesses < Scale::DEFAULT.base_accesses);
-        assert!(Scale::DEFAULT.base_accesses < Scale::FULL.base_accesses);
+        let scales = [Scale::SMOKE, Scale::DEFAULT, Scale::FULL];
+        assert!(scales
+            .windows(2)
+            .all(|w| w[0].base_accesses < w[1].base_accesses));
         assert_eq!(Scale::default(), Scale::DEFAULT);
     }
 

@@ -123,7 +123,9 @@ impl FeatureVector {
 
     /// Iterates `(kind, value)` pairs in column order.
     pub fn iter(&self) -> impl Iterator<Item = (FeatureKind, f64)> + '_ {
-        FeatureKind::ALL.iter().map(|k| (*k, self.values[k.index()]))
+        FeatureKind::ALL
+            .iter()
+            .map(|k| (*k, self.values[k.index()]))
     }
 }
 

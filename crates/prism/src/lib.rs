@@ -31,9 +31,9 @@ pub mod window;
 pub use entropy::{EntropyAccumulator, LOCAL_ENTROPY_SKIP_BITS};
 pub use features::{FeatureKind, FeatureVector};
 pub use footprint::FootprintStats;
-pub use window::{phase_boundaries, windowed_profile, WindowStats};
 pub use reuse::{reuse_histogram, ReuseHistogram};
 pub use spatial::{stride_profile, StrideProfile};
+pub use window::{phase_boundaries, windowed_profile, WindowStats};
 
 #[cfg(test)]
 mod proptests {
@@ -78,7 +78,7 @@ mod proptests {
             }
             let hottest = *counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
             let mut more = symbols.clone();
-            more.extend(std::iter::repeat(hottest).take(symbols.len()));
+            more.extend(std::iter::repeat_n(hottest, symbols.len()));
             let grown = footprint::of_stream(more.into_iter());
             prop_assert!(grown.footprint_90 <= base.footprint_90);
         }

@@ -86,8 +86,14 @@ mod tests {
     fn local_entropy_never_exceeds_global() {
         for name in ["bzip2", "cg", "exchange2", "GemsFDTD"] {
             let f = features_of(name, 30_000);
-            assert!(f[F::LocalReadEntropy] <= f[F::GlobalReadEntropy] + 1e-9, "{name}");
-            assert!(f[F::LocalWriteEntropy] <= f[F::GlobalWriteEntropy] + 1e-9, "{name}");
+            assert!(
+                f[F::LocalReadEntropy] <= f[F::GlobalReadEntropy] + 1e-9,
+                "{name}"
+            );
+            assert!(
+                f[F::LocalWriteEntropy] <= f[F::GlobalWriteEntropy] + 1e-9,
+                "{name}"
+            );
         }
     }
 

@@ -29,22 +29,96 @@ fn fv(name: &str, v: [f64; 10]) -> FeatureVector {
 /// Table VI: the 16 PRISM-characterized workloads, in row order.
 pub fn table_6() -> Vec<FeatureVector> {
     vec![
-        fv("bzip2", [18.03, 10.23, 11.72, 5.90, 5.99, 5.88, 2505.38, 750.86, 4.30, 1.47]),
-        fv("GemsFDTD", [19.92, 13.62, 22.27, 14.99, 116.88, 143.63, 76576.59, 113183.50, 1.30, 0.70]),
-        fv("tonto", [10.97, 5.15, 10.25, 3.72, 0.30, 0.29, 5.59, 1.74, 1.10, 0.47]),
-        fv("leela", [10.13, 4.07, 8.95, 3.01, 2.26, 5.06, 1.59, 1.29, 6.01, 2.35]),
-        fv("exchange2", [8.79, 3.52, 8.61, 3.47, 0.03, 0.02, 0.64, 0.58, 62.28, 42.89]),
-        fv("deepsjeng", [11.31, 5.69, 11.86, 5.93, 58.89, 68.28, 4.79, 4.33, 9.36, 4.43]),
-        fv("vips", [15.17, 10.26, 17.79, 11.61, 12.02, 6.32, 1107.19, 1325.34, 1.91, 0.68]),
-        fv("x264", [16.14, 7.43, 11.84, 4.04, 11.40, 9.28, 1585.49, 3.56, 18.07, 2.84]),
-        fv("cg", [19.01, 11.71, 18.88, 11.96, 2.30, 2.36, 1015.43, 819.15, 0.73, 0.04]),
-        fv("ep", [8.00, 4.81, 8.05, 4.74, 0.563, 1.47, 0.84, 113.18, 1.25, 0.54]),
-        fv("ft", [16.47, 9.93, 17.07, 10.28, 2.73, 2.72, 342.64, 611.66, 0.28, 0.27]),
-        fv("is", [15.23, 8.96, 15.65, 8.69, 2.20, 2.19, 1228.86, 794.26, 0.12, 0.06]),
-        fv("lu", [9.57, 6.01, 16.02, 9.63, 0.844, 0.84, 289.46, 259.75, 17.84, 3.99]),
-        fv("mg", [17.97, 11.80, 16.93, 10.18, 7.20, 7.29, 4249.78, 4767.97, 0.76, 0.16]),
-        fv("sp", [18.69, 12.02, 18.21, 11.35, 1.14, 1.28, 556.75, 256.73, 9.23, 4.12]),
-        fv("ua", [13.95, 8.17, 11.23, 5.69, 1.32, 1.57, 362.45, 106.25, 9.97, 5.85]),
+        fv(
+            "bzip2",
+            [
+                18.03, 10.23, 11.72, 5.90, 5.99, 5.88, 2505.38, 750.86, 4.30, 1.47,
+            ],
+        ),
+        fv(
+            "GemsFDTD",
+            [
+                19.92, 13.62, 22.27, 14.99, 116.88, 143.63, 76576.59, 113183.50, 1.30, 0.70,
+            ],
+        ),
+        fv(
+            "tonto",
+            [10.97, 5.15, 10.25, 3.72, 0.30, 0.29, 5.59, 1.74, 1.10, 0.47],
+        ),
+        fv(
+            "leela",
+            [10.13, 4.07, 8.95, 3.01, 2.26, 5.06, 1.59, 1.29, 6.01, 2.35],
+        ),
+        fv(
+            "exchange2",
+            [8.79, 3.52, 8.61, 3.47, 0.03, 0.02, 0.64, 0.58, 62.28, 42.89],
+        ),
+        fv(
+            "deepsjeng",
+            [
+                11.31, 5.69, 11.86, 5.93, 58.89, 68.28, 4.79, 4.33, 9.36, 4.43,
+            ],
+        ),
+        fv(
+            "vips",
+            [
+                15.17, 10.26, 17.79, 11.61, 12.02, 6.32, 1107.19, 1325.34, 1.91, 0.68,
+            ],
+        ),
+        fv(
+            "x264",
+            [
+                16.14, 7.43, 11.84, 4.04, 11.40, 9.28, 1585.49, 3.56, 18.07, 2.84,
+            ],
+        ),
+        fv(
+            "cg",
+            [
+                19.01, 11.71, 18.88, 11.96, 2.30, 2.36, 1015.43, 819.15, 0.73, 0.04,
+            ],
+        ),
+        fv(
+            "ep",
+            [
+                8.00, 4.81, 8.05, 4.74, 0.563, 1.47, 0.84, 113.18, 1.25, 0.54,
+            ],
+        ),
+        fv(
+            "ft",
+            [
+                16.47, 9.93, 17.07, 10.28, 2.73, 2.72, 342.64, 611.66, 0.28, 0.27,
+            ],
+        ),
+        fv(
+            "is",
+            [
+                15.23, 8.96, 15.65, 8.69, 2.20, 2.19, 1228.86, 794.26, 0.12, 0.06,
+            ],
+        ),
+        fv(
+            "lu",
+            [
+                9.57, 6.01, 16.02, 9.63, 0.844, 0.84, 289.46, 259.75, 17.84, 3.99,
+            ],
+        ),
+        fv(
+            "mg",
+            [
+                17.97, 11.80, 16.93, 10.18, 7.20, 7.29, 4249.78, 4767.97, 0.76, 0.16,
+            ],
+        ),
+        fv(
+            "sp",
+            [
+                18.69, 12.02, 18.21, 11.35, 1.14, 1.28, 556.75, 256.73, 9.23, 4.12,
+            ],
+        ),
+        fv(
+            "ua",
+            [
+                13.95, 8.17, 11.23, 5.69, 1.32, 1.57, 362.45, 106.25, 9.97, 5.85,
+            ],
+        ),
     ]
 }
 

@@ -134,7 +134,11 @@ impl ReuseHistogram {
             .iter()
             .sum();
         if cap_bucket < self.buckets.len() {
-            let lo = if cap_bucket == 0 { 0 } else { 1u64 << (cap_bucket - 1) };
+            let lo = if cap_bucket == 0 {
+                0
+            } else {
+                1u64 << (cap_bucket - 1)
+            };
             let hi = 1u64 << cap_bucket;
             let frac = (capacity_blocks.saturating_sub(lo)) as f64 / (hi - lo) as f64;
             hits += (self.buckets[cap_bucket] as f64 * frac) as u64;
@@ -209,7 +213,7 @@ mod tests {
         let h = reuse_histogram(&trace_of(&pattern));
         assert_eq!(h.cold(), 8);
         assert_eq!(h.miss_ratio_at(4), 1.0); // LRU thrash
-        assert!(h.miss_ratio_at(8) < 0.2);   // fits entirely
+        assert!(h.miss_ratio_at(8) < 0.2); // fits entirely
     }
 
     #[test]
@@ -234,12 +238,8 @@ mod tests {
     fn predicted_miss_ratio_tracks_workload_pressure() {
         // At the 2 MB LLC point (32 K blocks), the capacity-hungry gobmk
         // must predict a far higher miss ratio than hot-set leela.
-        let gobmk = reuse_histogram(
-            &workloads::by_name("gobmk").unwrap().generate(3, 40_000),
-        );
-        let leela = reuse_histogram(
-            &workloads::by_name("leela").unwrap().generate(3, 40_000),
-        );
+        let gobmk = reuse_histogram(&workloads::by_name("gobmk").unwrap().generate(3, 40_000));
+        let leela = reuse_histogram(&workloads::by_name("leela").unwrap().generate(3, 40_000));
         let at_2mb = 32 * 1024;
         assert!(
             gobmk.miss_ratio_at(at_2mb) > 1.5 * leela.miss_ratio_at(at_2mb),

@@ -35,8 +35,7 @@ impl StrideProfile {
         if n == 0 {
             return 0.0;
         }
-        (self.sequential as f64 + 0.75 * self.intra_block as f64
-            + 0.25 * self.intra_page as f64)
+        (self.sequential as f64 + 0.75 * self.intra_block as f64 + 0.25 * self.intra_page as f64)
             / n as f64
     }
 

@@ -157,8 +157,7 @@ impl Dram {
         let (bank_idx, row) = self.route(block);
         let c = self.config;
         let freq = self.freq_ghz;
-        let to_cycles =
-            |ns: f64| Nanoseconds::new(ns).to_cycles(freq) as f64;
+        let to_cycles = |ns: f64| Nanoseconds::new(ns).to_cycles(freq) as f64;
         let bank = &mut self.banks[bank_idx];
 
         let (outcome, service_ns) = match bank.open_row {
@@ -220,7 +219,11 @@ mod tests {
         let banks = d.config().banks_per_controller as usize;
         let (b0, _) = d.route(0);
         let (b1, _) = d.route(1);
-        assert_ne!(b0 / banks, b1 / banks, "consecutive blocks share a controller");
+        assert_ne!(
+            b0 / banks,
+            b1 / banks,
+            "consecutive blocks share a controller"
+        );
     }
 
     #[test]
@@ -250,13 +253,17 @@ mod tests {
         for block in 0..512u64 {
             now = d.access(block, now + 100.0);
         }
-        assert!(d.stats().row_hit_rate() > 0.8, "{}", d.stats().row_hit_rate());
+        assert!(
+            d.stats().row_hit_rate() > 0.8,
+            "{}",
+            d.stats().row_hit_rate()
+        );
 
         let mut scattered = dram();
         let mut now = 0.0;
         // Strided accesses hammering new rows: low hit rate.
-        let stride = u64::from(scattered.config().row_blocks)
-            * u64::from(scattered.config().controllers);
+        let stride =
+            u64::from(scattered.config().row_blocks) * u64::from(scattered.config().controllers);
         for i in 0..512u64 {
             now = scattered.access(i * stride, now + 100.0);
         }

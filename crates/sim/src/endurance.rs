@@ -201,11 +201,10 @@ mod tests {
             for _ in 0..10_000u64 {
                 t.record(7);
             }
-            t.report(MemClass::Pcram, 16, Seconds::new(1.0)).lifetime_years
+            t.report(MemClass::Pcram, 16, Seconds::new(1.0))
+                .lifetime_years
         };
-        assert!(
-            lifetime(WearPolicy::RotateXor { period: 100 }) > 5.0 * lifetime(WearPolicy::None)
-        );
+        assert!(lifetime(WearPolicy::RotateXor { period: 100 }) > 5.0 * lifetime(WearPolicy::None));
     }
 
     #[test]

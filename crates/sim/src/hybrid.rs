@@ -149,7 +149,14 @@ pub fn simulate_hybrid(base: &ArchConfig, hybrid: &HybridConfig, trace: &Trace) 
         if let Some(wb) = l1_out.writeback() {
             if let Some(wb2) = l2.fill_dirty(wb) {
                 // Dirty writeback into the LLC: SRAM ways absorb it.
-                place_write(&mut sram, &mut nvm, wb2, &mut hstats, &mut dynamic_j, hybrid);
+                place_write(
+                    &mut sram,
+                    &mut nvm,
+                    wb2,
+                    &mut hstats,
+                    &mut dynamic_j,
+                    hybrid,
+                );
                 stats.llc_writes += 1;
             }
         }
@@ -183,7 +190,14 @@ pub fn simulate_hybrid(base: &ArchConfig, hybrid: &HybridConfig, trace: &Trace) 
                 // writes land in the cheap partition.
                 if is_write {
                     let _ = nvm_evict(&mut nvm, block);
-                    place_write(&mut sram, &mut nvm, block, &mut hstats, &mut dynamic_j, hybrid);
+                    place_write(
+                        &mut sram,
+                        &mut nvm,
+                        block,
+                        &mut hstats,
+                        &mut dynamic_j,
+                        hybrid,
+                    );
                     hstats.migrations += 1;
                 }
                 (nvm_read, e(hybrid.nvm.hit_energy))
@@ -203,7 +217,14 @@ pub fn simulate_hybrid(base: &ArchConfig, hybrid: &HybridConfig, trace: &Trace) 
         if is_write {
             let out = sram.access(block, false);
             if let Some(e) = out.evicted {
-                demote(&mut nvm, e.block, e.dirty, &mut hstats, &mut dynamic_j, hybrid);
+                demote(
+                    &mut nvm,
+                    e.block,
+                    e.dirty,
+                    &mut hstats,
+                    &mut dynamic_j,
+                    hybrid,
+                );
             }
         } else {
             let out = nvm.access(block, false);
@@ -227,8 +248,8 @@ pub fn simulate_hybrid(base: &ArchConfig, hybrid: &HybridConfig, trace: &Trace) 
 
     // Leakage scales each partition's share of the ways.
     let sram_frac = f64::from(sram_ways) / f64::from(ways_total);
-    let leak_w = hybrid.sram.leakage.value() * sram_frac
-        + hybrid.nvm.leakage.value() * (1.0 - sram_frac);
+    let leak_w =
+        hybrid.sram.leakage.value() * sram_frac + hybrid.nvm.leakage.value() * (1.0 - sram_frac);
     let leakage = Joules::new(leak_w * exec_time.value());
 
     HybridResult {
@@ -356,8 +377,7 @@ mod tests {
 
         let t = hybrid.result.exec_time.value();
         let hybrid_leak_w = hybrid.result.llc_leakage_energy.value() / t;
-        let sram_leak_w =
-            pure_sram.llc_leakage_energy.value() / pure_sram.exec_time.value();
+        let sram_leak_w = pure_sram.llc_leakage_energy.value() / pure_sram.exec_time.value();
         let nvm_leak_w = pure_nvm.llc_leakage_energy.value() / pure_nvm.exec_time.value();
         assert!(hybrid_leak_w < sram_leak_w);
         assert!(hybrid_leak_w > nvm_leak_w);

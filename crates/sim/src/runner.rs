@@ -1,8 +1,22 @@
 //! Experiment runner: workload × LLC-technology matrices with
 //! SRAM-normalized metrics (the data behind the paper's Figures 1 and 2).
+//!
+//! [`Evaluator::run_all`] fans the (workload × technology) cell grid out
+//! over a scoped worker pool (`std::thread::scope` plus an atomic
+//! work-index queue — no external dependencies). Each cell is an
+//! independent deterministic [`System::run`] over a shared immutable
+//! trace from [`nvm_llc_trace::cache`], so results are **bit-identical
+//! at every worker count**: cells land in a pre-sized slot vector indexed
+//! by cell number and rows are assembled serially afterwards. The worker
+//! count comes from [`Evaluator::threads`], else the `NVM_LLC_THREADS`
+//! environment variable, else [`std::thread::available_parallelism`];
+//! `1` takes the exact legacy serial path (no threads spawned).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use nvm_llc_circuit::LlcModel;
-use nvm_llc_trace::WorkloadProfile;
+use nvm_llc_trace::{Trace, WorkloadProfile};
 
 use crate::config::ArchConfig;
 use crate::result::SimResult;
@@ -18,6 +32,10 @@ pub const DEFAULT_SEED: u64 = 2019; // the paper's publication year
 /// Cache-warmup fraction for steady-state measurement (Sniper-style
 /// warmup before the region of interest).
 pub const DEFAULT_WARMUP: f64 = 0.25;
+
+/// Environment variable overriding the evaluation worker count (used when
+/// [`Evaluator::threads`] was not called; `1` forces the serial path).
+pub const THREADS_ENV: &str = "NVM_LLC_THREADS";
 
 /// One technology's normalized outcome for one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,11 +64,14 @@ pub struct MatrixRow {
 }
 
 impl MatrixRow {
-    /// The entry for a technology by display or citation name.
+    /// The entry for a technology by display or citation name: an exact
+    /// match, or a `_`-suffixed variant (`"Kang"` finds `Kang_P`).
     pub fn entry(&self, name: &str) -> Option<&MatrixEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.llc == name || e.llc.starts_with(&format!("{name}_")) || e.llc == format!("{name}"))
+        self.entries.iter().find(|e| {
+            e.llc
+                .strip_prefix(name)
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('_'))
+        })
     }
 
     /// The most energy-efficient technology of this row.
@@ -77,6 +98,7 @@ pub struct Evaluator {
     seed: u64,
     cores: Option<u32>,
     warmup: f64,
+    threads: Option<usize>,
 }
 
 impl Evaluator {
@@ -89,6 +111,7 @@ impl Evaluator {
             seed: DEFAULT_SEED,
             cores: None,
             warmup: DEFAULT_WARMUP,
+            threads: None,
         }
     }
 
@@ -118,44 +141,127 @@ impl Evaluator {
         self
     }
 
+    /// Pins the evaluation worker count. `1` forces the serial path (no
+    /// threads are spawned). Takes precedence over [`THREADS_ENV`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Worker count to use: explicit [`Evaluator::threads`], else the
+    /// `NVM_LLC_THREADS` environment variable, else every available core.
+    fn effective_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n;
+        }
+        if let Some(n) = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    fn config(&self, llc: &LlcModel) -> ArchConfig {
+        let mut c = ArchConfig::gainestown(llc.clone());
+        if let Some(cores) = self.cores {
+            c = c.with_cores(cores);
+        }
+        c
+    }
+
     /// Runs one workload against the baseline and every NVM.
     pub fn run_workload(&self, workload: &WorkloadProfile) -> MatrixRow {
-        let accesses = workload.scaled_accesses(self.base_accesses);
-        let trace = workload.generate(self.seed, accesses);
-        let config = |llc: &LlcModel| {
-            let mut c = ArchConfig::gainestown(llc.clone());
-            if let Some(cores) = self.cores {
-                c = c.with_cores(cores);
-            }
-            c
-        };
-        let baseline = System::new(config(&self.baseline))
-            .with_warmup(self.warmup)
-            .run(&trace);
-        let entries = self
-            .nvms
-            .iter()
-            .map(|llc| {
-                let result = System::new(config(llc)).with_warmup(self.warmup).run(&trace);
-                MatrixEntry {
-                    llc: result.llc_name.clone(),
-                    speedup: result.speedup_vs(&baseline),
-                    energy: result.energy_vs(&baseline),
-                    ed2p: result.ed2p_vs(&baseline),
-                    result,
-                }
-            })
-            .collect();
-        MatrixRow {
-            workload: workload.name().to_owned(),
-            baseline,
-            entries,
-        }
+        self.run_all(std::slice::from_ref(workload))
+            .pop()
+            .expect("one workload in, one row out")
     }
 
     /// Runs a whole workload list (a full Figure 1a/1b/2a/2b panel).
+    ///
+    /// The (workload × technology) cell grid is distributed over
+    /// [`Evaluator::effective_threads`] scoped workers pulling cell
+    /// indices from an atomic queue. Every cell is an independent
+    /// deterministic simulation over a shared [`Arc<Trace>`], and results
+    /// land in a slot vector indexed by cell, so the output is
+    /// bit-identical to the serial path regardless of worker count or
+    /// scheduling.
     pub fn run_all(&self, workloads: &[WorkloadProfile]) -> Vec<MatrixRow> {
-        workloads.iter().map(|w| self.run_workload(w)).collect()
+        let traces: Vec<Arc<Trace>> = workloads
+            .iter()
+            .map(|w| w.generate_shared(self.seed, w.scaled_accesses(self.base_accesses)))
+            .collect();
+        // Cell grid: workload-major, baseline first then each NVM.
+        let width = 1 + self.nvms.len();
+        let cells = workloads.len() * width;
+        let run_cell = |cell: usize| -> SimResult {
+            let (wi, mi) = (cell / width, cell % width);
+            let llc = if mi == 0 {
+                &self.baseline
+            } else {
+                &self.nvms[mi - 1]
+            };
+            System::new(self.config(llc))
+                .with_warmup(self.warmup)
+                .run(&traces[wi])
+        };
+
+        let threads = self.effective_threads().min(cells.max(1));
+        let results: Vec<SimResult> = if threads <= 1 {
+            // Exact legacy serial path: cells in order, current thread.
+            (0..cells).map(run_cell).collect()
+        } else {
+            let slots: Vec<OnceLock<SimResult>> = (0..cells).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let cell = next.fetch_add(1, Ordering::Relaxed);
+                        if cell >= cells {
+                            break;
+                        }
+                        slots[cell]
+                            .set(run_cell(cell))
+                            .unwrap_or_else(|_| unreachable!("cell claimed twice"));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("worker pool computed every cell"))
+                .collect()
+        };
+
+        // Serial assembly: normalization against each row's baseline is
+        // independent of how the cells were scheduled.
+        let mut cells = results.into_iter();
+        workloads
+            .iter()
+            .map(|w| {
+                let baseline = cells.next().expect("baseline cell");
+                let entries = (1..width)
+                    .map(|_| {
+                        let result = cells.next().expect("technology cell");
+                        MatrixEntry {
+                            llc: result.llc_name.clone(),
+                            speedup: result.speedup_vs(&baseline),
+                            energy: result.energy_vs(&baseline),
+                            ed2p: result.ed2p_vs(&baseline),
+                            result,
+                        }
+                    })
+                    .collect();
+                MatrixRow {
+                    workload: w.name().to_owned(),
+                    baseline,
+                    entries,
+                }
+            })
+            .collect()
     }
 }
 
@@ -168,10 +274,7 @@ mod tests {
     fn small_evaluator() -> Evaluator {
         let models = reference::fixed_capacity();
         let baseline = reference::by_name(&models, "SRAM").unwrap();
-        let nvms: Vec<_> = models
-            .into_iter()
-            .filter(|m| m.name != "SRAM")
-            .collect();
+        let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
         Evaluator::new(baseline, nvms).base_accesses(8_000)
     }
 
@@ -226,6 +329,34 @@ mod tests {
         assert!(row.entries.iter().all(|e| e.energy >= best_e.energy));
         let best_s = row.best_speedup().unwrap();
         assert!(row.entries.iter().all(|e| e.speedup <= best_s.speedup));
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_bit_identical() {
+        let ws: Vec<_> = ["tonto", "leela"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        let serial = small_evaluator().threads(1).run_all(&ws);
+        let parallel = small_evaluator().threads(4).run_all(&ws);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn explicit_threads_beat_env_override() {
+        // threads() wins over NVM_LLC_THREADS; both paths must agree
+        // anyway, so this just exercises the precedence plumbing.
+        let e = small_evaluator().threads(3);
+        let row = e.run_workload(&workloads::by_name("tonto").unwrap());
+        assert_eq!(row.entries.len(), 10);
+    }
+
+    #[test]
+    fn entry_matches_exact_and_suffixed_names_only() {
+        let row = small_evaluator().run_workload(&workloads::by_name("tonto").unwrap());
+        assert!(row.entry("Kang").is_some()); // citation name -> Kang_P
+        assert!(row.entry("Kan").is_none()); // not a prefix match
+        assert!(row.entry("").is_none()); // empty never matches by accident
     }
 
     #[test]

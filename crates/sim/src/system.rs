@@ -36,8 +36,8 @@ use crate::cache::{Replacement, SetAssocCache};
 use crate::config::{ArchConfig, LlcWritePolicy};
 use crate::dram::Dram;
 use crate::endurance::{EnduranceTracker, WearPolicy};
-use crate::techniques::DeadBlockPredictor;
 use crate::result::{SimResult, SimStats};
+use crate::techniques::DeadBlockPredictor;
 
 /// Fraction of the LLC read-hit latency a load exposes to the critical
 /// path: the OoO core overlaps most of a 5–30 cycle hit with independent
@@ -157,12 +157,8 @@ impl System {
                 shadow_misses: 0,
             })
             .collect();
-        let mut llc = SetAssocCache::with_geometry(
-            cfg.llc_capacity_bytes(),
-            16,
-            64,
-            self.replacement,
-        );
+        let mut llc =
+            SetAssocCache::with_geometry(cfg.llc_capacity_bytes(), 16, 64, self.replacement);
 
         let llc_read_cycles = cfg.llc_read_cycles() as f64;
         let llc_tag_cycles = cfg.llc_tag_cycles() as f64;
@@ -188,9 +184,10 @@ impl System {
         let mut ports: Vec<f64> = vec![0.0; cfg.llc_banks.max(1) as usize];
 
         // --- Warmup: touch the caches, charge nothing -------------------
+        let events = trace.events();
         let warmup_events = (trace.len() as f64 * self.warmup_fraction) as usize;
         let num_cores = cores.len();
-        for event in trace.events().iter().take(warmup_events) {
+        for event in &events[..warmup_events.min(events.len())] {
             let core = &mut cores[usize::from(event.tid) % num_cores];
             let block = event.block();
             let is_write = event.kind == AccessKind::Write;
@@ -222,36 +219,40 @@ impl System {
         let warm_llc = (llc.hits(), llc.misses());
 
         let mut inval_buffer: Vec<u64> = Vec::new();
-        for event in trace.events().iter().skip(warmup_events) {
+        for event in &events[warmup_events.min(events.len())..] {
             // Inclusive hierarchy: apply back-invalidations queued by the
             // previous event (one-event delay ≈ the invalidation's real
             // network latency). Without inclusion the queues just drop.
-            if cfg.inclusive_llc {
-                for c in cores.iter_mut() {
-                    inval_buffer.append(&mut c.pending_invalidations);
-                }
-                for victim in inval_buffer.drain(..) {
+            // Both arms are guarded so the common no-victim event skips
+            // the per-core sweep entirely.
+            if cores.iter().any(|c| !c.pending_invalidations.is_empty()) {
+                if cfg.inclusive_llc {
                     for c in cores.iter_mut() {
-                        if let Some(dirty) = c.l1d.invalidate(victim) {
-                            stats.inclusion_invalidations += 1;
-                            if dirty {
-                                stats.dram_writebacks += 1;
+                        inval_buffer.append(&mut c.pending_invalidations);
+                    }
+                    for victim in inval_buffer.drain(..) {
+                        for c in cores.iter_mut() {
+                            if let Some(dirty) = c.l1d.invalidate(victim) {
+                                stats.inclusion_invalidations += 1;
+                                if dirty {
+                                    stats.dram_writebacks += 1;
+                                }
                             }
-                        }
-                        if let Some(dirty) = c.l2.invalidate(victim) {
-                            stats.inclusion_invalidations += 1;
-                            if dirty {
-                                stats.dram_writebacks += 1;
+                            if let Some(dirty) = c.l2.invalidate(victim) {
+                                stats.inclusion_invalidations += 1;
+                                if dirty {
+                                    stats.dram_writebacks += 1;
+                                }
                             }
                         }
                     }
-                }
-            } else {
-                for c in cores.iter_mut() {
-                    c.pending_invalidations.clear();
+                } else {
+                    for c in cores.iter_mut() {
+                        c.pending_invalidations.clear();
+                    }
                 }
             }
-            let core_idx = usize::from(event.tid) % cores.len();
+            let core_idx = usize::from(event.tid) % num_cores;
             let core = &mut cores[core_idx];
             let is_write = event.kind == AccessKind::Write;
             let block = event.block();
@@ -428,8 +429,8 @@ impl System {
                 // because it fell outside the previous one, or because the
                 // MSHRs are exhausted; otherwise it rides the shadow for
                 // the bandwidth floor.
-                let opens_window = core.instructions >= core.miss_shadow_end
-                    || core.shadow_misses >= mshrs;
+                let opens_window =
+                    core.instructions >= core.miss_shadow_end || core.shadow_misses >= mshrs;
                 match dram.as_mut() {
                     Some(dram) => {
                         let ready = dram.access(block, core.cycles + llc_tag_cycles);
@@ -488,9 +489,8 @@ impl System {
             + llc_writes as f64 * write_j;
         let leakage = cfg.llc.leakage * exec_time;
 
-        let endurance_report = endurance.map(|tracker| {
-            tracker.report(cfg.llc.class, 16, exec_time)
-        });
+        let endurance_report =
+            endurance.map(|tracker| tracker.report(cfg.llc.class, 16, exec_time));
         SimResult {
             llc_name: cfg.llc.display_name(),
             exec_time,
@@ -689,8 +689,7 @@ mod tests {
         let llc = reference::sram_baseline();
         let trace = workloads::by_name("mg").unwrap().generate(42, 20_000);
         let simple = System::new(ArchConfig::gainestown(llc.clone())).run(&trace);
-        let detailed =
-            System::new(ArchConfig::gainestown(llc).with_detailed_dram()).run(&trace);
+        let detailed = System::new(ArchConfig::gainestown(llc).with_detailed_dram()).run(&trace);
         assert_eq!(simple.stats.dram_row_hits, 0);
         assert!(detailed.stats.dram_row_hits > 0);
         assert!(detailed.stats.dram_row_hits + detailed.stats.dram_row_conflicts > 0);
@@ -731,7 +730,9 @@ mod tests {
     fn bypass_reduces_array_fills_on_low_reuse_workloads() {
         // deepsjeng's huge cold footprint is dead-block heaven.
         let llc = reference::by_name(&reference::fixed_capacity(), "Kang").unwrap();
-        let trace = workloads::by_name("deepsjeng").unwrap().generate(42, 40_000);
+        let trace = workloads::by_name("deepsjeng")
+            .unwrap()
+            .generate(42, 40_000);
         let base = System::new(ArchConfig::gainestown(llc.clone()))
             .with_warmup(0.25)
             .run(&trace);
@@ -753,10 +754,8 @@ mod tests {
         let llc = reference::by_name(&reference::fixed_capacity(), "Kang").unwrap();
         let trace = workloads::by_name("bzip2").unwrap().generate(42, 20_000);
         let full = System::new(ArchConfig::gainestown(llc.clone())).run(&trace);
-        let diff = System::new(
-            ArchConfig::gainestown(llc).with_differential_writes(0.4),
-        )
-        .run(&trace);
+        let diff =
+            System::new(ArchConfig::gainestown(llc).with_differential_writes(0.4)).run(&trace);
         // Same events, lower dynamic energy, identical timing.
         assert_eq!(full.stats, diff.stats);
         assert_eq!(full.exec_time, diff.exec_time);
@@ -856,8 +855,7 @@ mod tests {
         // Jan's 1 MB LLC churns under the 30 000-block stream.
         let llc = reference::by_name(&reference::fixed_area(), "Jan").unwrap();
         let base = System::new(ArchConfig::gainestown(llc.clone())).run(&trace);
-        let inclusive =
-            System::new(ArchConfig::gainestown(llc).with_inclusive_llc()).run(&trace);
+        let inclusive = System::new(ArchConfig::gainestown(llc).with_inclusive_llc()).run(&trace);
         assert_eq!(base.stats.inclusion_invalidations, 0);
         assert!(
             inclusive.stats.inclusion_invalidations > 0,
@@ -892,12 +890,10 @@ mod tests {
         let llc = reference::by_name(&reference::fixed_capacity(), "Zhang").unwrap();
         let trace = workloads::by_name("mg").unwrap().generate(42, 20_000);
         let make = |policy| {
-            System::new(
-                ArchConfig::gainestown(llc.clone()).with_llc_write_policy(policy),
-            )
-            .run(&trace)
-            .exec_time
-            .value()
+            System::new(ArchConfig::gainestown(llc.clone()).with_llc_write_policy(policy))
+                .run(&trace)
+                .exec_time
+                .value()
         };
         let off = make(LlcWritePolicy::OffCriticalPath);
         let port = make(LlcWritePolicy::PortContention);

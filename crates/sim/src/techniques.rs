@@ -8,9 +8,10 @@
 //! and are exercised by the ablation bench.
 
 /// How much of the full block-write energy an LLC write costs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WriteMode {
     /// Every write drives all bits (the paper's baseline model).
+    #[default]
     Full,
     /// Differential write / early write termination: only flipped bits
     /// are driven, costing `flip_fraction` of the data-write energy
@@ -20,12 +21,6 @@ pub enum WriteMode {
         /// `(0, 1]`.
         flip_fraction: f64,
     },
-}
-
-impl Default for WriteMode {
-    fn default() -> Self {
-        WriteMode::Full
-    }
 }
 
 impl WriteMode {

@@ -20,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod access;
+pub mod cache;
 pub mod io;
 pub mod profile;
 pub mod suite;

@@ -122,8 +122,7 @@ impl WorkloadProfile {
     /// multiply it — Table VI's totals for the multi-threaded NPB
     /// workloads sit below the single-threaded outliers).
     pub fn scaled_accesses(&self, base: usize) -> usize {
-        (((base as f64) * self.relative_volume / f64::from(self.threads.max(1))).round()
-            as usize)
+        (((base as f64) * self.relative_volume / f64::from(self.threads.max(1))).round() as usize)
             .max(1)
     }
 
@@ -195,6 +194,16 @@ impl WorkloadProfile {
         Trace::new(events, threads)
     }
 
+    /// Like [`WorkloadProfile::generate`], but memoized through the
+    /// process-wide [`crate::cache`]: the first call generates, later
+    /// calls with the same `(profile, seed, length)` return a
+    /// pointer-equal `Arc` to the same immutable trace. Experiment
+    /// runners use this so e.g. fig1, fig4, and the selection study
+    /// replay one shared copy of each trace.
+    pub fn generate_shared(&self, seed: u64, accesses_per_thread: usize) -> std::sync::Arc<Trace> {
+        crate::cache::fetch(self, seed, accesses_per_thread)
+    }
+
     fn generate_thread(&self, seed: u64, tid: u8, count: usize) -> Vec<TraceEvent> {
         let mut rng = SmallRng::seed_from_u64(
             seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -260,11 +269,13 @@ impl WorkloadProfile {
                 layout.shared_base + block_in_region
             };
             let offset = u64::from(rng.random_range(0..8u8)) * 8;
-            let addr = REGION_BASE + block * BLOCK_BYTES + if r < self.stream_fraction {
-                (stream_pos * 8) % BLOCK_BYTES
-            } else {
-                offset
-            };
+            let addr = REGION_BASE
+                + block * BLOCK_BYTES
+                + if r < self.stream_fraction {
+                    (stream_pos * 8) % BLOCK_BYTES
+                } else {
+                    offset
+                };
 
             let gap = sample_geometric(&mut rng, mean_gap);
             out.push(TraceEvent {
@@ -302,8 +313,7 @@ impl RegionLayout {
         } else {
             0
         };
-        let private_blocks =
-            ((profile.footprint_blocks - shared_blocks) / threads).max(1);
+        let private_blocks = ((profile.footprint_blocks - shared_blocks) / threads).max(1);
         RegionLayout {
             shared_base: 0,
             shared_blocks,
@@ -506,8 +516,11 @@ mod tests {
         }
         // Threads mostly work in disjoint private regions but share some
         // blocks.
-        let blocks =
-            |tid: u8| t.thread_events(tid).map(|e| e.block()).collect::<std::collections::HashSet<_>>();
+        let blocks = |tid: u8| {
+            t.thread_events(tid)
+                .map(|e| e.block())
+                .collect::<std::collections::HashSet<_>>()
+        };
         let b0 = blocks(0);
         let b1 = blocks(1);
         assert!(b0.intersection(&b1).count() > 0, "no sharing");

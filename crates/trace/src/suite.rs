@@ -35,8 +35,7 @@ impl Suite {
     ];
 
     /// The paper's original four suites (Table V).
-    pub const PAPER: [Suite; 4] =
-        [Suite::Cpu2006, Suite::Parsec, Suite::Npb, Suite::Cpu2017];
+    pub const PAPER: [Suite; 4] = [Suite::Cpu2006, Suite::Parsec, Suite::Npb, Suite::Cpu2017];
 
     /// Short display label matching Table V's suite column.
     pub fn label(self) -> &'static str {

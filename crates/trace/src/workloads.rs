@@ -423,12 +423,18 @@ pub fn by_name(name: &str) -> Option<WorkloadProfile> {
 
 /// The single-threaded workloads.
 pub fn single_threaded() -> Vec<WorkloadProfile> {
-    all().into_iter().filter(|w| !w.is_multithreaded()).collect()
+    all()
+        .into_iter()
+        .filter(|w| !w.is_multithreaded())
+        .collect()
 }
 
 /// The multi-threaded workloads.
 pub fn multi_threaded() -> Vec<WorkloadProfile> {
-    all().into_iter().filter(WorkloadProfile::is_multithreaded).collect()
+    all()
+        .into_iter()
+        .filter(WorkloadProfile::is_multithreaded)
+        .collect()
 }
 
 /// The cpu2017 AI workloads Section VI's specialized analysis uses.
@@ -601,7 +607,11 @@ mod dl_tests {
         for w in deep_learning() {
             assert_eq!(w.suite(), Suite::Fathom);
             assert!(w.is_ai());
-            assert!(by_name(w.name()).is_none(), "{} leaked into Table V", w.name());
+            assert!(
+                by_name(w.name()).is_none(),
+                "{} leaked into Table V",
+                w.name()
+            );
         }
     }
 
@@ -620,8 +630,7 @@ mod dl_tests {
             .iter()
             .map(|w| {
                 let t = w.generate(3, 20_000);
-                let unique: std::collections::HashSet<u64> =
-                    t.iter().map(|e| e.block()).collect();
+                let unique: std::collections::HashSet<u64> = t.iter().map(|e| e.block()).collect();
                 (w.name().to_owned(), unique.len())
             })
             .collect();

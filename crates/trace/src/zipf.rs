@@ -108,10 +108,7 @@ mod tests {
     fn high_alpha_concentrates_on_low_ranks() {
         let counts = histogram(Zipf::new(1000, 1.2), 100_000);
         let head: u64 = counts[..10].iter().sum();
-        assert!(
-            head as f64 > 0.5 * 100_000.0,
-            "head got {head} of 100000"
-        );
+        assert!(head as f64 > 0.5 * 100_000.0, "head got {head} of 100000");
         // Rank 0 must dominate rank 100.
         assert!(counts[0] > 10 * counts[100].max(1));
     }

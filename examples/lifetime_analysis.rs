@@ -13,7 +13,12 @@
 use nvm_llc::prelude::*;
 use nvm_llc::sim::{SimResult, WearPolicy};
 
-fn run(llc: LlcModel, trace: &nvm_llc::trace::Trace, policy: WearPolicy, bypass: bool) -> SimResult {
+fn run(
+    llc: LlcModel,
+    trace: &nvm_llc::trace::Trace,
+    policy: WearPolicy,
+    bypass: bool,
+) -> SimResult {
     let mut config = ArchConfig::gainestown(llc);
     if bypass {
         config = config.with_llc_bypass();
@@ -56,7 +61,11 @@ fn main() {
     let kang = reference::by_name(&reference::fixed_capacity(), "Kang").unwrap();
     let cases: [(&str, WearPolicy, bool); 4] = [
         ("baseline", WearPolicy::None, false),
-        ("wear leveling (rotate/4096)", WearPolicy::RotateXor { period: 4096 }, false),
+        (
+            "wear leveling (rotate/4096)",
+            WearPolicy::RotateXor { period: 4096 },
+            false,
+        ),
         ("dead-block bypass", WearPolicy::None, true),
         ("both", WearPolicy::RotateXor { period: 4096 }, true),
     ];

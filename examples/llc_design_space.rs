@@ -9,8 +9,8 @@
 //! paper's 6.55 mm² SRAM footprint (the fixed-area study of
 //! Section IV-C).
 
-use nvm_llc::circuit::{fixed_area, CacheModeler, OptimizationTarget};
 use nvm_llc::cell::technologies;
+use nvm_llc::circuit::{fixed_area, CacheModeler, OptimizationTarget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const MB: u64 = 1024 * 1024;
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cells.push(technologies::sram_baseline());
     for cell in &cells {
         let modeler = CacheModeler::new(cell.clone());
-        for capacity in [1 * MB, 2 * MB, 8 * MB, 32 * MB] {
+        for capacity in [MB, 2 * MB, 8 * MB, 32 * MB] {
             let m = modeler.model(capacity)?;
             println!(
                 "{:<12} {:>8} MB {:>12.3} {:>12.3} {:>12.3} {:>10.3}",

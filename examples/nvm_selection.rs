@@ -9,7 +9,9 @@
 use nvm_llc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "leela".to_owned());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "leela".to_owned());
     let Some(workload) = workloads::by_name(&target) else {
         eprintln!("unknown workload `{target}`; known workloads:");
         for w in workloads::all() {

@@ -11,7 +11,10 @@ use nvm_llc::prelude::*;
 
 fn main() {
     let scale = Scale::DEFAULT;
-    println!("Characterizing {} workloads...\n", workloads::characterized().len());
+    println!(
+        "Characterizing {} workloads...\n",
+        workloads::characterized().len()
+    );
 
     let mut rows: Vec<FeatureVector> = Vec::new();
     for w in workloads::characterized() {
@@ -21,8 +24,17 @@ fn main() {
 
     println!(
         "{:<11} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "bmk", "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq", "w_uniq", "90%ft_r", "90%ft_w",
-        "r_total", "w_total"
+        "bmk",
+        "H_rg",
+        "H_rl",
+        "H_wg",
+        "H_wl",
+        "r_uniq",
+        "w_uniq",
+        "90%ft_r",
+        "90%ft_w",
+        "r_total",
+        "w_total"
     );
     for f in &rows {
         print!("{:<11}", f.name());
@@ -64,5 +76,7 @@ fn main() {
         );
     }
 
-    println!("\nPaper reference rows (Table VI) are available via nvm_llc::prism::reference::table_6().");
+    println!(
+        "\nPaper reference rows (Table VI) are available via nvm_llc::prism::reference::table_6()."
+    );
 }

@@ -64,7 +64,12 @@ fn every_workload_simulates_on_every_fixed_capacity_model() {
         let trace = w.generate(7, 300);
         for model in &models {
             let result = System::new(ArchConfig::gainestown(model.clone())).run(&trace);
-            assert!(result.exec_time.value() > 0.0, "{}/{}", w.name(), model.name);
+            assert!(
+                result.exec_time.value() > 0.0,
+                "{}/{}",
+                w.name(),
+                model.name
+            );
             assert!(
                 result.llc_energy().value() > 0.0,
                 "{}/{}",
@@ -121,8 +126,8 @@ fn trace_io_round_trip_preserves_simulation_results() {
 #[test]
 fn scaled_cells_model_smaller_caches() {
     // Projecting Jan to 22 nm must shrink the modeled cache area.
-    use nvm_llc::cell::{scaling, technologies};
     use nvm_llc::cell::units::Nanometers;
+    use nvm_llc::cell::{scaling, technologies};
     let jan = technologies::jan();
     let jan22 = scaling::project_to_node(&jan, Nanometers::new(22.0)).unwrap();
     let m90 = CacheModeler::new(jan).model(2 * 1024 * 1024).unwrap();
@@ -137,8 +142,7 @@ fn committed_model_release_matches_the_code() {
     // cell-model release; it must stay in lockstep with the compiled-in
     // dataset (regenerate with `cargo run -p nvm-llc-cell --example
     // export_models`).
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../models");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
     let released = nvm_llc::cell::cellfile::read_catalog_dir(&dir)
         .expect("models/ directory present and parseable");
     let catalog = Catalog::paper();

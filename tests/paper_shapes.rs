@@ -124,7 +124,13 @@ fn core_sweep_capacity_pressure() {
     assert!(mpki(8, "Jan_S") > mpki(1, "Jan_S"));
     assert!(mpki(8, "Hayakawa_R") < mpki(8, "Jan_S"));
     let speedup = |cores: u32, nvm: &str| {
-        sweep.point("mg", cores).unwrap().row.entry(nvm).unwrap().speedup
+        sweep
+            .point("mg", cores)
+            .unwrap()
+            .row
+            .entry(nvm)
+            .unwrap()
+            .speedup
     };
     assert!(
         speedup(8, "Hayakawa_R") > speedup(8, "Jan_S"),
@@ -148,7 +154,11 @@ fn table5_selection_bar_holds() {
             row.measured_mpki()
         );
     }
-    assert!(t.rank_agreement() > 0.6, "rank agreement {}", t.rank_agreement());
+    assert!(
+        t.rank_agreement() > 0.6,
+        "rank agreement {}",
+        t.rank_agreement()
+    );
 }
 
 /// §VI: for AI use cases, write-side features predict energy far better

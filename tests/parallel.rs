@@ -1,0 +1,66 @@
+//! Parallel evaluation engine, end to end: the scoped worker pool must be
+//! bit-identical to the serial path, and the process-wide trace cache
+//! must hand every same-key consumer the same `Arc<Trace>`.
+
+use std::sync::Arc;
+
+use nvm_llc::prelude::*;
+
+fn evaluator() -> Evaluator {
+    let models = reference::fixed_capacity();
+    let baseline = reference::by_name(&models, "SRAM").unwrap();
+    let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+    Evaluator::new(baseline, nvms).base_accesses(8_000)
+}
+
+/// The determinism guarantee: a 3-workload × 11-technology matrix run
+/// serially and with eight workers is `PartialEq`-identical — every
+/// timing, energy, and statistics field, not just the shape.
+#[test]
+fn serial_and_eight_worker_matrices_are_identical() {
+    let ws: Vec<_> = ["tonto", "leela", "ft"]
+        .iter()
+        .map(|n| workloads::by_name(n).unwrap())
+        .collect();
+    let serial = evaluator().threads(1).run_all(&ws);
+    let parallel = evaluator().threads(8).run_all(&ws);
+    assert_eq!(serial.len(), 3);
+    for (row, w) in serial.iter().zip(&ws) {
+        assert_eq!(row.workload, w.name());
+        assert_eq!(row.entries.len(), 10); // + baseline = 11 technologies
+    }
+    assert_eq!(serial, parallel);
+}
+
+/// `run_workload` is a one-row `run_all`, so it inherits the same
+/// guarantee at any worker count.
+#[test]
+fn single_row_is_worker_count_invariant() {
+    let w = workloads::by_name("bzip2").unwrap();
+    let serial = evaluator().threads(1).run_workload(&w);
+    let parallel = evaluator().threads(4).run_workload(&w);
+    assert_eq!(serial, parallel);
+}
+
+/// Two fetches of the same `(workload, seed, accesses)` key return
+/// pointer-equal `Arc`s — the trace was generated exactly once.
+#[test]
+fn trace_cache_fetches_are_pointer_equal() {
+    let w = workloads::by_name("tonto").unwrap();
+    let a = nvm_llc::trace::cache::fetch(&w, 2019, 4_000);
+    let b = nvm_llc::trace::cache::fetch(&w, 2019, 4_000);
+    assert!(Arc::ptr_eq(&a, &b));
+    assert_eq!(a.events(), w.generate(2019, 4_000).events());
+}
+
+/// Evaluations going through `generate_shared` populate the same cache:
+/// a later direct fetch sees the already-generated trace.
+#[test]
+fn evaluator_runs_share_the_trace_cache() {
+    let w = workloads::by_name("leela").unwrap();
+    let accesses = w.scaled_accesses(8_000);
+    let _ = evaluator().threads(2).run_workload(&w);
+    let cached = nvm_llc::trace::cache::fetch(&w, 2019, accesses);
+    let again = w.generate_shared(2019, accesses);
+    assert!(Arc::ptr_eq(&cached, &again));
+}

@@ -2,8 +2,8 @@
 //! model → system simulation → correlation, with nothing taken from the
 //! reference dataset except the SRAM baseline for normalization.
 
-use nvm_llc::prelude::*;
 use nvm_llc::analysis::Outcome;
+use nvm_llc::prelude::*;
 
 #[test]
 fn full_pipeline_from_reported_values_to_correlations() {
@@ -77,7 +77,12 @@ fn generated_and_reference_models_agree_in_simulation() {
         .run_workload(&w);
 
     let (r, g) = (&row_ref.entries[0], &row_gen.entries[0]);
-    assert!((r.speedup - g.speedup).abs() < 0.1, "{} vs {}", r.speedup, g.speedup);
+    assert!(
+        (r.speedup - g.speedup).abs() < 0.1,
+        "{} vs {}",
+        r.speedup,
+        g.speedup
+    );
     let energy_ratio = g.energy / r.energy;
     assert!(
         (0.2..=5.0).contains(&energy_ratio),
