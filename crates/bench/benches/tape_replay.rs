@@ -1,0 +1,116 @@
+//! Functional/timing split microbenchmarks: the cost of one functional
+//! pass (Phase A, `System::record`) vs one timing replay (Phase B,
+//! `System::replay`) vs the fused `System::run`, and the Figure 1-shaped
+//! matrix where 11 fixed-capacity technologies share a single geometry —
+//! the case the tape cache was built for. `cargo run -p nvm-llc-bench
+//! --bin tape_bench --release` dumps the headline numbers to
+//! `BENCH_tape.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_llc::experiments::{evaluator, Configuration};
+use nvm_llc::prelude::*;
+use nvm_llc::trace::workloads;
+use nvm_llc::Scale;
+
+fn bench(c: &mut Criterion) {
+    let trace = workloads::by_name("tonto")
+        .unwrap()
+        .generate_shared(Scale::SMOKE.seed, 50_000);
+    let models = reference::fixed_capacity();
+    let sram = reference::by_name(&models, "SRAM").unwrap();
+    let system = System::new(ArchConfig::gainestown(sram)).with_warmup(0.25);
+
+    let mut group = c.benchmark_group("tape_phases");
+    group.sample_size(10);
+    group.bench_function("record_functional_pass", |b| {
+        b.iter(|| std::hint::black_box(system.record(&trace)))
+    });
+    let tape = system.record(&trace);
+    group.bench_function("replay_timing_pass", |b| {
+        b.iter(|| std::hint::black_box(system.replay(&tape)))
+    });
+    group.bench_function("fused_direct_run", |b| {
+        b.iter(|| std::hint::black_box(system.run(&trace)))
+    });
+    group.finish();
+
+    // The matrix the split targets: every fixed-capacity technology
+    // shares one LLC geometry, so a warm tape cache turns 11 functional
+    // passes per workload into 1. `direct` re-simulates each cell the
+    // pre-split way; `warm_tape` measures `run_all` with tapes recorded.
+    let ws = workloads::single_threaded();
+    let eval = |techs: usize| {
+        let baseline = reference::by_name(&models, "SRAM").unwrap();
+        let nvms: Vec<_> = models
+            .iter()
+            .filter(|m| m.name != "SRAM")
+            .take(techs - 1)
+            .cloned()
+            .collect();
+        Evaluator::new(baseline, nvms)
+            .base_accesses(Scale::SMOKE.base_accesses)
+            .seed(Scale::SMOKE.seed)
+            .threads(1)
+    };
+    for w in &ws {
+        let _ = w.generate_shared(
+            Scale::SMOKE.seed,
+            w.scaled_accesses(Scale::SMOKE.base_accesses),
+        );
+    }
+    let mut group = c.benchmark_group("tape_matrix");
+    group.sample_size(10);
+    for techs in [1usize, 11] {
+        group.bench_function(format!("direct_{techs}_techs"), |b| {
+            let configs: Vec<_> = std::iter::once(reference::by_name(&models, "SRAM").unwrap())
+                .chain(
+                    models
+                        .iter()
+                        .filter(|m| m.name != "SRAM")
+                        .take(techs - 1)
+                        .cloned(),
+                )
+                .collect();
+            b.iter(|| {
+                for w in &ws {
+                    let trace = w.generate_shared(
+                        Scale::SMOKE.seed,
+                        w.scaled_accesses(Scale::SMOKE.base_accesses),
+                    );
+                    for model in &configs {
+                        std::hint::black_box(
+                            System::new(ArchConfig::gainestown(model.clone()))
+                                .with_warmup(0.25)
+                                .run(&trace),
+                        );
+                    }
+                }
+            })
+        });
+        group.bench_function(format!("warm_tape_{techs}_techs"), |b| {
+            let e = eval(techs);
+            let _ = e.run_all(&ws); // record every tape once
+            b.iter(|| std::hint::black_box(e.run_all(&ws)))
+        });
+    }
+    group.finish();
+
+    // Keep the shared-evaluator smoke path exercised too, so this bench
+    // fails loudly if the experiments-facing API drifts.
+    let mut group = c.benchmark_group("tape_smoke");
+    group.sample_size(10);
+    group.bench_function("fixed_capacity_row_warm", |b| {
+        let e = evaluator(Configuration::FixedCapacity, Scale::SMOKE).threads(1);
+        let w = workloads::by_name("tonto").unwrap();
+        let _ = e.run_workload(&w);
+        b.iter(|| std::hint::black_box(e.run_workload(&w)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

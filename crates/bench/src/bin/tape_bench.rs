@@ -1,0 +1,132 @@
+//! Headline numbers for the functional/timing split, dumped to
+//! `BENCH_tape.json` at the repository root.
+//!
+//! Reported measurements (best of three, single worker thread so the
+//! tape effect is not conflated with pool parallelism):
+//!
+//! * per-phase cost of one cell: `System::record` (functional pass),
+//!   `System::replay` (timing pass), and the fused `System::run`;
+//! * the fixed-capacity matrix (11 technologies sharing one 2 MB LLC
+//!   geometry) three ways: all-direct (pre-split behavior, one fused
+//!   run per cell), cold tape (record once per workload + replay), and
+//!   warm tape (every tape already cached).
+//!
+//! The acceptance bar for the split is `warm_speedup_vs_direct >= 3`.
+
+use std::time::Instant;
+
+use nvm_llc::prelude::*;
+
+const BASE_ACCESSES: usize = 20_000;
+const SEED: u64 = 2019;
+const REPEATS: usize = 3;
+
+fn best_of(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let models = reference::fixed_capacity();
+    let sram = reference::by_name(&models, "SRAM").unwrap();
+    let nvms: Vec<_> = models
+        .iter()
+        .filter(|m| m.name != "SRAM")
+        .cloned()
+        .collect();
+    let ws = workloads::single_threaded();
+    let traces: Vec<_> = ws
+        .iter()
+        .map(|w| w.generate_shared(SEED, w.scaled_accesses(BASE_ACCESSES)))
+        .collect();
+
+    // Per-phase costs on one representative cell (tonto on the shared
+    // 2 MB geometry).
+    let system = System::new(ArchConfig::gainestown(sram.clone()))
+        .with_warmup(nvm_llc::sim::runner::DEFAULT_WARMUP);
+    let trace = &traces[ws.iter().position(|w| w.name() == "tonto").unwrap()];
+    let record_ms = best_of(REPEATS, || {
+        std::hint::black_box(system.record(trace));
+    });
+    let tape = system.record(trace);
+    let replay_ms = best_of(REPEATS, || {
+        std::hint::black_box(system.replay(&tape));
+    });
+    let fused_ms = best_of(REPEATS, || {
+        std::hint::black_box(system.run(trace));
+    });
+
+    // The matrix, all-direct: one fused functional+timing simulation per
+    // cell, exactly what every cell cost before the split.
+    let direct_ms = best_of(REPEATS, || {
+        for trace in &traces {
+            for model in &models {
+                std::hint::black_box(
+                    System::new(ArchConfig::gainestown(model.clone()))
+                        .with_warmup(nvm_llc::sim::runner::DEFAULT_WARMUP)
+                        .run(trace),
+                );
+            }
+        }
+    });
+
+    let evaluator = Evaluator::new(sram, nvms)
+        .base_accesses(BASE_ACCESSES)
+        .seed(SEED)
+        .threads(1);
+
+    // Cold: the cache is emptied first, so each iteration pays one
+    // functional pass per workload plus 11 replays.
+    let cold_ms = best_of(REPEATS, || {
+        nvm_llc::sim::tape::cache::clear();
+        std::hint::black_box(evaluator.run_all(&ws));
+    });
+
+    // Warm: every geometry's tape is already recorded; the whole matrix
+    // is timing replays.
+    let _ = evaluator.run_all(&ws);
+    let warm_ms = best_of(REPEATS, || {
+        std::hint::black_box(evaluator.run_all(&ws));
+    });
+
+    let stats = nvm_llc::sim::tape::cache::stats();
+    let replay_speedup = fused_ms / replay_ms;
+    let warm_speedup = direct_ms / warm_ms;
+    let cold_speedup = direct_ms / cold_ms;
+
+    let json = format!(
+        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2}\n  }},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }}\n}}\n",
+        ws.len(),
+        models.len(),
+        BASE_ACCESSES,
+        REPEATS,
+        record_ms,
+        replay_ms,
+        fused_ms,
+        replay_speedup,
+        direct_ms,
+        cold_ms,
+        warm_ms,
+        cold_speedup,
+        warm_speedup,
+        stats.hits,
+        stats.misses,
+        stats.bytes,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tape.json");
+    std::fs::write(path, &json).expect("write BENCH_tape.json");
+    print!("{json}");
+    eprintln!("tape cache after run: {stats}");
+
+    assert!(
+        warm_speedup >= 3.0,
+        "warm-tape matrix must be >= 3x faster than the all-direct path \
+         (got {warm_speedup:.2}x)"
+    );
+}

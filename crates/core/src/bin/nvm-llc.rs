@@ -1,7 +1,7 @@
 //! `nvm-llc` — command-line front end for the paper-reproduction harness.
 //!
 //! ```text
-//! nvm-llc <artifact> [--scale smoke|default|full]
+//! nvm-llc <artifact> [--scale smoke|default|full] [--threads N]
 //!
 //! artifacts:
 //!   table2 | table3 | table4 | table5 | table6
@@ -22,7 +22,7 @@ use nvm_llc::prelude::*;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nvm-llc <artifact> [--scale smoke|default|full]\n\
+        "usage: nvm-llc <artifact> [--scale smoke|default|full] [--threads N]\n\
          artifacts: table2 table3 table4 table5 table6 fig1 fig2 fig4 sweep\n\
          \x20          lifetime selection dl all | cell <name> | characterize <bmk> | mrc <bmk>"
     );
@@ -41,6 +41,37 @@ fn parse_scale(args: &[String]) -> Result<Scale, String> {
     }
 }
 
+/// `--threads N` pins the evaluation worker-pool size by exporting
+/// `NVM_LLC_THREADS` before any experiment spawns workers. Explicit
+/// `Evaluator::threads(..)` calls still win; without the flag the env
+/// var (if set by the caller) and then `available_parallelism` apply.
+fn apply_threads(args: &[String]) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(());
+    };
+    let value = args.get(i + 1).map(String::as_str);
+    match value.and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => {
+            std::env::set_var(nvm_llc::sim::runner::THREADS_ENV, n.to_string());
+            Ok(())
+        }
+        _ => Err(format!(
+            "bad --threads value {value:?} (want an integer >= 1)"
+        )),
+    }
+}
+
+/// After an evaluation artifact finishes, say how well the two
+/// process-wide caches did: generated traces held, and the tape cache's
+/// functional-pass accounting.
+fn log_cache_stats() {
+    eprintln!(
+        "caches: {} generated traces held, tape cache {}",
+        nvm_llc::trace::cache::len(),
+        nvm_llc::sim::tape::cache::stats()
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(artifact) = args.first() else {
@@ -53,6 +84,17 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if let Err(e) = apply_threads(&args) {
+        eprintln!("{e}");
+        return usage();
+    }
+
+    // Artifacts that drive the evaluation engine report cache
+    // effectiveness on exit; the static renderers have nothing to say.
+    let evaluates = !matches!(
+        artifact.as_str(),
+        "table2" | "table3" | "table4" | "cell" | "characterize" | "mrc"
+    );
 
     match artifact.as_str() {
         "table2" => println!("{}", table2::run().render()),
@@ -129,6 +171,9 @@ fn main() -> ExitCode {
             }
         }
         _ => return usage(),
+    }
+    if evaluates {
+        log_cache_stats();
     }
     ExitCode::SUCCESS
 }

@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Replacement policy for a cache array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Replacement {
     /// Least-recently-used (the baseline everywhere in the paper).
     #[default]
@@ -269,17 +269,20 @@ impl SetAssocCache {
         Some(line.dirty)
     }
 
-    /// All currently resident block addresses (test/debug helper).
-    pub fn resident_blocks(&self) -> Vec<u64> {
-        let mut out = Vec::new();
-        for (set_idx, set) in self.lines.chunks(self.ways).enumerate() {
-            for line in set {
-                if line.valid {
-                    out.push((line.tag << self.set_shift) | set_idx as u64);
-                }
-            }
-        }
-        out
+    /// All currently resident block addresses, set-major.
+    ///
+    /// Allocation-free: yields straight from the line array, so endurance
+    /// and hybrid analyses can sweep residency without materializing a
+    /// `Vec` per call (collect if ordering/sorting is needed).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines
+            .chunks(self.ways)
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.iter()
+                    .filter(|l| l.valid)
+                    .map(move |l| (l.tag << self.set_shift) | set_idx as u64)
+            })
     }
 
     /// Whether `block` is currently resident (no state change).
@@ -431,7 +434,7 @@ mod tests {
         assert_eq!(c.invalidate(2), Some(false));
         assert_eq!(c.invalidate(3), None);
         assert!(!c.contains(1));
-        assert!(c.resident_blocks().is_empty());
+        assert_eq!(c.resident_blocks().next(), None);
     }
 
     #[test]
@@ -440,7 +443,7 @@ mod tests {
         for b in [3u64, 11, 100] {
             c.access(b, false);
         }
-        let mut resident = c.resident_blocks();
+        let mut resident: Vec<u64> = c.resident_blocks().collect();
         resident.sort_unstable();
         assert_eq!(resident, vec![3, 11, 100]);
     }
@@ -529,7 +532,8 @@ mod tests {
                     prop_assert_eq!(ra.evicted, rb.evicted);
                 }
                 prop_assert_eq!((a.hits(), a.misses()), (b.hits(), b.misses()));
-                let (mut ra, mut rb) = (a.resident_blocks(), b.resident_blocks());
+                let (mut ra, mut rb): (Vec<u64>, Vec<u64>) =
+                    (a.resident_blocks().collect(), b.resident_blocks().collect());
                 ra.sort_unstable();
                 rb.sort_unstable();
                 prop_assert_eq!(ra, rb);

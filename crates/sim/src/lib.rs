@@ -32,6 +32,7 @@ pub mod hybrid;
 pub mod result;
 pub mod runner;
 pub mod system;
+pub mod tape;
 pub mod techniques;
 
 pub use cache::{AccessOutcome, Eviction, Replacement, SetAssocCache};
@@ -42,6 +43,7 @@ pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult, HybridStats};
 pub use result::{SimResult, SimStats};
 pub use runner::{Evaluator, MatrixEntry, MatrixRow};
 pub use system::System;
+pub use tape::{EventRecord, Outcome, OutcomeTape, TapeKey};
 pub use techniques::{DeadBlockPredictor, WriteMode};
 
 #[cfg(test)]

@@ -4,13 +4,19 @@
 //! [`Evaluator::run_all`] fans the (workload × technology) cell grid out
 //! over a scoped worker pool (`std::thread::scope` plus an atomic
 //! work-index queue — no external dependencies). Each cell is an
-//! independent deterministic [`System::run`] over a shared immutable
-//! trace from [`nvm_llc_trace::cache`], so results are **bit-identical
-//! at every worker count**: cells land in a pre-sized slot vector indexed
-//! by cell number and rows are assembled serially afterwards. The worker
-//! count comes from [`Evaluator::threads`], else the `NVM_LLC_THREADS`
-//! environment variable, else [`std::thread::available_parallelism`];
-//! `1` takes the exact legacy serial path (no threads spawned).
+//! independent deterministic [`System::run_cached`] over a shared
+//! immutable trace from [`nvm_llc_trace::cache`], so results are
+//! **bit-identical at every worker count**: cells land in a pre-sized
+//! slot vector indexed by cell number and rows are assembled serially
+//! afterwards. The worker count comes from [`Evaluator::threads`], else
+//! the `NVM_LLC_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`]; `1` takes the exact legacy
+//! serial path (no threads spawned).
+//!
+//! Cells also share *functional* work: `run_cached` fetches each cell's
+//! outcome tape from [`crate::tape::cache`], so all technologies whose
+//! LLC capacity matches (the whole fixed-capacity matrix, for instance)
+//! run Phase A once per workload and only replay Phase B per technology.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -207,7 +213,7 @@ impl Evaluator {
             };
             System::new(self.config(llc))
                 .with_warmup(self.warmup)
-                .run(&traces[wi])
+                .run_cached(&traces[wi])
         };
 
         let threads = self.effective_threads().min(cells.max(1));

@@ -5,6 +5,21 @@
 //! cache hierarchy (private L1D/L2, shared LLC), an NVM-aware LLC with
 //! asymmetric read/write latency and energy, and a DRAM backend.
 //!
+//! ## Functional/timing split
+//!
+//! The simulator is factored Sniper-style into a **functional** half
+//! (which level serves each access, what writes back, what invalidates —
+//! [`System::functional_walk`], depending only on trace + geometry) and a
+//! **timing/energy** half ([`TimingEngine`], applying one technology's
+//! latencies, port contention, ROB/MSHR overlap, DRAM model, and energy).
+//! [`System::run`] fuses the two in a single pass; [`System::record`]
+//! captures the functional half as an [`OutcomeTape`] that
+//! [`System::replay`] can re-time for any technology sharing the
+//! geometry. Both paths drive the *same* `TimingEngine` code over the
+//! same event sequence, so replayed results are bit-identical to direct
+//! runs by construction. [`System::run_cached`] memoizes tapes
+//! process-wide via [`crate::tape::cache`].
+//!
 //! ## Modeling decisions (and where they come from)
 //!
 //! * **LLC writes are off the critical path** by default — the paper's
@@ -29,6 +44,8 @@
 //!   mostly partition their data; the paper's metrics are LLC-centric).
 //!   Instruction fetch is assumed to hit the L1I.
 
+use std::sync::Arc;
+
 use nvm_llc_cell::units::{Joules, Seconds};
 use nvm_llc_trace::{AccessKind, Trace};
 
@@ -37,6 +54,7 @@ use crate::config::{ArchConfig, LlcWritePolicy};
 use crate::dram::Dram;
 use crate::endurance::{EnduranceTracker, WearPolicy};
 use crate::result::{SimResult, SimStats};
+use crate::tape::{EventRecord, Outcome, OutcomeTape, SideEvents, TapeKey};
 use crate::techniques::DeadBlockPredictor;
 
 /// Fraction of the LLC read-hit latency a load exposes to the critical
@@ -44,20 +62,245 @@ use crate::techniques::DeadBlockPredictor;
 /// work, but longer NVM reads still cost proportionally more.
 pub const LLC_HIT_EXPOSURE: f64 = 0.4;
 
-/// Per-core microarchitectural state.
+/// Per-core functional state: the private caches and the queue of LLC
+/// victims awaiting back-invalidation. Never sees a cycle count.
 #[derive(Debug)]
-struct Core {
+struct FnCore {
     l1d: SetAssocCache,
     l2: SetAssocCache,
+    /// LLC victims evicted while this core held the borrow; drained into
+    /// back-invalidations at the next event when the LLC is inclusive.
+    pending_invalidations: Vec<u64>,
+}
+
+/// Per-core timing state: everything `System::run` used to keep on the
+/// core that depends on the technology's latencies.
+#[derive(Debug, Clone)]
+struct TimingLane {
     cycles: f64,
     instructions: u64,
     /// Instruction count until which further misses overlap for free.
     miss_shadow_end: u64,
-    /// LLC victims evicted while this core held the borrow; drained into
-    /// back-invalidations at the next event when the LLC is inclusive.
-    pending_invalidations: Vec<u64>,
     /// Misses that have ridden the current shadow (MSHR accounting).
     shadow_misses: u32,
+}
+
+/// The timing/energy half of the simulator: applies one technology's
+/// cycle latencies, port contention, ROB/MSHR miss overlap, and DRAM
+/// model to a stream of functional [`EventRecord`]s.
+///
+/// The fused [`System::run`] and the tape-driven [`System::replay`] both
+/// feed [`TimingEngine::apply`] the same records in the same order, so
+/// the two paths execute literally the same floating-point operation
+/// sequence — bit-identical results are structural, not coincidental.
+#[derive(Debug)]
+struct TimingEngine {
+    base_cpi: f64,
+    llc_read_cycles: f64,
+    llc_tag_cycles: f64,
+    llc_write_cycles: f64,
+    l2_cycles: f64,
+    dram_cycles: f64,
+    dram_transfer_cycles: f64,
+    rob: u64,
+    mshrs: u32,
+    write_policy: LlcWritePolicy,
+    /// Banked LLC ports for the port-contention policy, in the
+    /// (approximately common) core cycle domain.
+    ports: Vec<f64>,
+    dram: Option<Dram>,
+    lanes: Vec<TimingLane>,
+    port_stall_cycles: u64,
+}
+
+impl TimingEngine {
+    fn new(cfg: &ArchConfig) -> TimingEngine {
+        TimingEngine {
+            base_cpi: cfg.base_cpi,
+            llc_read_cycles: cfg.llc_read_cycles() as f64,
+            llc_tag_cycles: cfg.llc_tag_cycles() as f64,
+            llc_write_cycles: cfg.llc_write_cycles() as f64,
+            l2_cycles: cfg.l2.latency_cycles as f64,
+            dram_cycles: cfg.dram_cycles() as f64,
+            dram_transfer_cycles: cfg.dram_transfer_cycles() as f64,
+            rob: u64::from(cfg.rob_entries),
+            mshrs: cfg.mshrs.unwrap_or(u32::MAX),
+            write_policy: cfg.llc_write_policy,
+            ports: vec![0.0; cfg.llc_banks.max(1) as usize],
+            dram: cfg
+                .detailed_dram
+                .then(|| Dram::new(cfg.dram_config, cfg.freq_ghz)),
+            lanes: vec![
+                TimingLane {
+                    cycles: 0.0,
+                    instructions: 0,
+                    miss_shadow_end: 0,
+                    shadow_misses: 0,
+                };
+                cfg.cores as usize
+            ],
+            port_stall_cycles: 0,
+        }
+    }
+
+    /// Applies one event's timing. `wear` and `dram_blocks` are cursors
+    /// over the event stream's side arrays; the record's flags determine
+    /// exactly how many entries each consumes, so a single running
+    /// iterator serves a whole tape.
+    fn apply(
+        &mut self,
+        rec: EventRecord,
+        wear: &mut impl Iterator<Item = u64>,
+        dram_blocks: &mut impl Iterator<Item = u64>,
+        endurance: &mut Option<EnduranceTracker>,
+    ) {
+        let lane = &mut self.lanes[rec.core()];
+        lane.cycles += f64::from(rec.gap_instructions()) * self.base_cpi + self.base_cpi;
+        lane.instructions += u64::from(rec.gap_instructions()) + 1;
+        let outcome = rec.outcome();
+        if outcome == Outcome::L1Hit {
+            return;
+        }
+        // L1 victim writeback sinks into L2; its own eviction cascades
+        // to the LLC as a write.
+        if rec.l1_writeback_llc_write() {
+            record_wear(endurance, wear);
+            write_timing(
+                &mut self.ports,
+                lane,
+                self.llc_write_cycles,
+                self.write_policy,
+                &mut self.port_stall_cycles,
+            );
+        }
+        if outcome == Outcome::L2Hit {
+            if !rec.is_write() {
+                lane.cycles += self.l2_cycles;
+            }
+            return;
+        }
+        if rec.l2_writeback_llc_write() {
+            record_wear(endurance, wear);
+            write_timing(
+                &mut self.ports,
+                lane,
+                self.llc_write_cycles,
+                self.write_policy,
+                &mut self.port_stall_cycles,
+            );
+        }
+        // Prefetch side effects: the fill's dirty L2 victim is an LLC
+        // write; the LLC fill itself cycles the array and moves DRAM
+        // traffic but charges no core time.
+        if rec.prefetch_evict_llc_write() {
+            record_wear(endurance, wear);
+            write_timing(
+                &mut self.ports,
+                lane,
+                self.llc_write_cycles,
+                self.write_policy,
+                &mut self.port_stall_cycles,
+            );
+        }
+        if rec.prefetch_llc_fill() {
+            record_wear(endurance, wear);
+            let next = dram_blocks.next().expect("tape DRAM stream underrun");
+            if let Some(dram) = self.dram.as_mut() {
+                let _ = dram.access(next, lane.cycles);
+            }
+        }
+        if outcome == Outcome::LlcHit {
+            if !rec.is_write() {
+                // Loads expose part of the tag+data read path; under
+                // port contention they additionally queue behind
+                // writes occupying the banks.
+                if self.write_policy == LlcWritePolicy::PortContention {
+                    let start = claim_port(&mut self.ports, lane.cycles, self.llc_read_cycles);
+                    let stall = start - lane.cycles;
+                    self.port_stall_cycles += stall as u64;
+                    lane.cycles = start + self.llc_read_cycles * LLC_HIT_EXPOSURE;
+                } else {
+                    lane.cycles += self.llc_read_cycles * LLC_HIT_EXPOSURE;
+                }
+            }
+            return;
+        }
+        // LLC miss. The fill allocates the block (endurance-relevant)
+        // unless the bypass predictor skipped it.
+        if rec.llc_filled() {
+            record_wear(endurance, wear);
+        }
+        let block = dram_blocks.next().expect("tape DRAM stream underrun");
+        if !rec.is_write() {
+            // ROB-bounded overlap: the first miss of a cluster pays
+            // the full path (tag check + DRAM); misses within one ROB
+            // width ride in its latency shadow but still occupy the
+            // DRAM channel for one block transfer.
+            // A miss pays the full path when it opens a new shadow —
+            // because it fell outside the previous one, or because the
+            // MSHRs are exhausted; otherwise it rides the shadow for
+            // the bandwidth floor.
+            let opens_window =
+                lane.instructions >= lane.miss_shadow_end || lane.shadow_misses >= self.mshrs;
+            match self.dram.as_mut() {
+                Some(dram) => {
+                    let ready = dram.access(block, lane.cycles + self.llc_tag_cycles);
+                    if opens_window {
+                        lane.cycles = ready;
+                        lane.miss_shadow_end = lane.instructions + self.rob;
+                        lane.shadow_misses = 1;
+                    } else {
+                        lane.cycles += self.dram_transfer_cycles;
+                        lane.shadow_misses += 1;
+                    }
+                }
+                None => {
+                    if opens_window {
+                        lane.cycles += self.llc_tag_cycles + self.dram_cycles;
+                        lane.miss_shadow_end = lane.instructions + self.rob;
+                        lane.shadow_misses = 1;
+                    } else {
+                        lane.cycles += self.dram_transfer_cycles;
+                        lane.shadow_misses += 1;
+                    }
+                }
+            }
+        } else if let Some(dram) = self.dram.as_mut() {
+            // Store-triggered fills still occupy the channel.
+            let _ = dram.access(block, lane.cycles);
+        }
+    }
+}
+
+/// Feeds the next endurance-stream block to the tracker (when enabled).
+/// The cursor advances either way so replay and direct runs agree on
+/// stream position regardless of tracking.
+fn record_wear(endurance: &mut Option<EnduranceTracker>, wear: &mut impl Iterator<Item = u64>) {
+    let block = wear.next().expect("tape endurance stream underrun");
+    if let Some(tracker) = endurance.as_mut() {
+        tracker.record(block);
+    }
+}
+
+/// Applies the write policy's timing for one LLC write.
+fn write_timing(
+    ports: &mut [f64],
+    lane: &mut TimingLane,
+    write_cycles: f64,
+    policy: LlcWritePolicy,
+    port_stall_cycles: &mut u64,
+) {
+    match policy {
+        LlcWritePolicy::OffCriticalPath => {}
+        LlcWritePolicy::PortContention => {
+            // The write occupies a port but the core keeps running.
+            let _ = claim_port(ports, lane.cycles, write_cycles);
+        }
+        LlcWritePolicy::Blocking => {
+            lane.cycles += write_cycles;
+            *port_stall_cycles += write_cycles as u64;
+        }
+    }
 }
 
 /// A configured system ready to replay traces.
@@ -134,10 +377,116 @@ impl System {
     ///
     /// Threads map onto cores round-robin (`core = tid % cores`), so a
     /// trace with more threads than cores time-shares.
+    ///
+    /// This is the fused single-pass path: the functional walk and the
+    /// [`TimingEngine`] run in lockstep, one event at a time.
     pub fn run(&self, trace: &Trace) -> SimResult {
+        let mut engine = TimingEngine::new(&self.config);
+        let mut endurance = self.endurance_tracker();
+        let stats = self.functional_walk(trace, |rec, sides| {
+            engine.apply(
+                rec,
+                &mut sides.endurance().iter().copied(),
+                &mut sides.dram().iter().copied(),
+                &mut endurance,
+            );
+        });
+        self.finalize(stats, engine, endurance)
+    }
+
+    /// Phase A alone: runs the functional pass and captures the outcome
+    /// tape ([`crate::tape`]) that [`System::replay`] can re-time for any
+    /// technology sharing this system's [`TapeKey`] geometry.
+    pub fn record(&self, trace: &Trace) -> OutcomeTape {
+        let roi_events = trace.len() - self.warmup_events(trace);
+        let mut tape = OutcomeTape::with_capacity(roi_events, self.config.cores);
+        let stats = self.functional_walk(trace, |rec, sides| tape.push(rec, sides));
+        tape.set_stats(stats);
+        tape
+    }
+
+    /// Phase B alone: applies this system's technology timing and energy
+    /// to a recorded tape. Bit-identical to [`System::run`] on the trace
+    /// the tape was recorded from, for any configuration that shares the
+    /// tape's functional geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape was recorded for a different core count (the
+    /// clearest symptom of keying a tape cache incorrectly).
+    pub fn replay(&self, tape: &OutcomeTape) -> SimResult {
+        assert_eq!(
+            tape.cores(),
+            self.config.cores,
+            "outcome tape recorded for a different core count"
+        );
+        let mut engine = TimingEngine::new(&self.config);
+        let mut endurance = self.endurance_tracker();
+        let mut wear = tape.endurance_blocks().iter().copied();
+        let mut dram_blocks = tape.dram_blocks().iter().copied();
+        for &rec in tape.records() {
+            engine.apply(rec, &mut wear, &mut dram_blocks, &mut endurance);
+        }
+        self.finalize(tape.stats().clone(), engine, endurance)
+    }
+
+    /// [`System::run`] through the process-wide tape cache: fetches (or
+    /// records, exactly once per process) the outcome tape for this
+    /// system's geometry over `trace`, then replays it.
+    pub fn run_cached(&self, trace: &Arc<Trace>) -> SimResult {
+        let tape = crate::tape::cache::fetch(self, trace);
+        self.replay(&tape)
+    }
+
+    /// The functional identity of running this system over `trace`: every
+    /// knob the outcome tape depends on, and none it doesn't.
+    pub fn tape_key(&self, trace: &Trace) -> TapeKey {
         let cfg = &self.config;
-        let mut cores: Vec<Core> = (0..cfg.cores)
-            .map(|_| Core {
+        TapeKey::new(
+            trace.uid(),
+            cfg.cores,
+            (
+                cfg.l1d.capacity_bytes,
+                cfg.l1d.associativity,
+                cfg.l1d.block_bytes,
+            ),
+            (
+                cfg.l2.capacity_bytes,
+                cfg.l2.associativity,
+                cfg.l2.block_bytes,
+            ),
+            cfg.llc_capacity_bytes(),
+            self.replacement,
+            self.warmup_fraction,
+            cfg.inclusive_llc,
+            cfg.l2_prefetch,
+            cfg.llc_bypass,
+        )
+    }
+
+    fn endurance_tracker(&self) -> Option<EnduranceTracker> {
+        let llc_sets = (self.config.llc_capacity_bytes() / (64 * 16)).max(1);
+        self.endurance
+            .map(|policy| EnduranceTracker::new(llc_sets, policy))
+    }
+
+    fn warmup_events(&self, trace: &Trace) -> usize {
+        ((trace.len() as f64 * self.warmup_fraction) as usize).min(trace.len())
+    }
+
+    /// Phase A: drives the cache hierarchy over `trace` and hands each
+    /// post-warmup event's outcome (plus its endurance/DRAM side events)
+    /// to `consume`, in trace order. Returns the functional statistics;
+    /// the timing-side fields (`llc_port_stall_cycles`, `dram_row_*`,
+    /// `dram_queue_cycles`) stay zero for [`Self::finalize`] to fill.
+    fn functional_walk(
+        &self,
+        trace: &Trace,
+        mut consume: impl FnMut(EventRecord, &SideEvents),
+    ) -> SimStats {
+        let cfg = &self.config;
+        let mut cores: Vec<FnCore> = (0..cfg.cores)
+            .map(|_| FnCore {
                 l1d: SetAssocCache::with_geometry(
                     cfg.l1d.capacity_bytes,
                     cfg.l1d.associativity,
@@ -150,44 +499,19 @@ impl System {
                     cfg.l2.block_bytes,
                     self.replacement,
                 ),
-                cycles: 0.0,
-                instructions: 0,
-                miss_shadow_end: 0,
                 pending_invalidations: Vec::new(),
-                shadow_misses: 0,
             })
             .collect();
         let mut llc =
             SetAssocCache::with_geometry(cfg.llc_capacity_bytes(), 16, 64, self.replacement);
-
-        let llc_read_cycles = cfg.llc_read_cycles() as f64;
-        let llc_tag_cycles = cfg.llc_tag_cycles() as f64;
-        let llc_write_cycles = cfg.llc_write_cycles() as f64;
-        let l2_cycles = cfg.l2.latency_cycles as f64;
-        let dram_cycles = cfg.dram_cycles() as f64;
-        let dram_transfer_cycles = cfg.dram_transfer_cycles() as f64;
-        let rob = u64::from(cfg.rob_entries);
-        let mshrs = cfg.mshrs.unwrap_or(u32::MAX);
-
         let mut stats = SimStats::default();
-        let mut llc_writes: u64 = 0;
-        let mut dram = cfg
-            .detailed_dram
-            .then(|| Dram::new(cfg.dram_config, cfg.freq_ghz));
-        let llc_sets = (cfg.llc_capacity_bytes() / (64 * 16)).max(1);
-        let mut endurance = self
-            .endurance
-            .map(|policy| EnduranceTracker::new(llc_sets, policy));
         let mut bypass = cfg.llc_bypass.then(DeadBlockPredictor::default_table);
-        // Banked LLC ports for the port-contention policy, in the
-        // (approximately common) core cycle domain.
-        let mut ports: Vec<f64> = vec![0.0; cfg.llc_banks.max(1) as usize];
 
         // --- Warmup: touch the caches, charge nothing -------------------
         let events = trace.events();
-        let warmup_events = (trace.len() as f64 * self.warmup_fraction) as usize;
+        let warmup_events = self.warmup_events(trace);
         let num_cores = cores.len();
-        for event in &events[..warmup_events.min(events.len())] {
+        for event in &events[..warmup_events] {
             let core = &mut cores[usize::from(event.tid) % num_cores];
             let block = event.block();
             let is_write = event.kind == AccessKind::Write;
@@ -208,18 +532,15 @@ impl System {
                 let _ = llc.access(block, false);
             }
         }
-        // Record the warmup share of the cache-array counters so the
-        // reported hierarchy stats cover only the region of interest.
+        // Warmup's share of the L1 array counters, so the consistency
+        // assertion below can cover only the region of interest.
         let warm_l1: (u64, u64) = cores.iter().fold((0, 0), |acc, c| {
             (acc.0 + c.l1d.hits(), acc.1 + c.l1d.misses())
         });
-        let warm_l2: (u64, u64) = cores.iter().fold((0, 0), |acc, c| {
-            (acc.0 + c.l2.hits(), acc.1 + c.l2.misses())
-        });
-        let warm_llc = (llc.hits(), llc.misses());
 
         let mut inval_buffer: Vec<u64> = Vec::new();
-        for event in &events[warmup_events.min(events.len())..] {
+        let mut sides = SideEvents::default();
+        for event in &events[warmup_events..] {
             // Inclusive hierarchy: apply back-invalidations queued by the
             // previous event (one-event delay ≈ the invalidation's real
             // network latency). Without inclusion the queues just drop.
@@ -257,14 +578,16 @@ impl System {
             let is_write = event.kind == AccessKind::Write;
             let block = event.block();
 
-            core.cycles += f64::from(event.gap_instructions) * cfg.base_cpi + cfg.base_cpi;
-            core.instructions += u64::from(event.gap_instructions) + 1;
             stats.accesses += 1;
+            stats.instructions += u64::from(event.gap_instructions) + 1;
+            sides.clear();
+            let mut rec = EventRecord::new(core_idx as u8, event.gap_instructions, is_write);
 
             // --- L1D ----------------------------------------------------
             let l1_out = core.l1d.access(block, is_write);
             if l1_out.hit {
                 stats.l1d_hits += 1;
+                consume(rec, &sides);
                 continue;
             }
             stats.l1d_misses += 1;
@@ -272,19 +595,9 @@ impl System {
             // to the LLC as a write.
             if let Some(wb) = l1_out.writeback() {
                 if let Some(wb2) = core.l2.fill_dirty(wb) {
-                    if let Some(tracker) = endurance.as_mut() {
-                        tracker.record(wb2);
-                    }
-                    llc_write(
-                        &mut llc,
-                        wb2,
-                        &mut llc_writes,
-                        &mut stats,
-                        &mut ports,
-                        core,
-                        llc_write_cycles,
-                        cfg.llc_write_policy,
-                    );
+                    sides.push_endurance(wb2);
+                    rec = rec.with_l1_writeback_llc_write();
+                    llc_write(&mut llc, wb2, &mut stats, &mut core.pending_invalidations);
                 }
             }
 
@@ -292,26 +605,14 @@ impl System {
             let l2_out = core.l2.access(block, false);
             if l2_out.hit {
                 stats.l2_hits += 1;
-                if !is_write {
-                    core.cycles += l2_cycles;
-                }
+                consume(rec.with_outcome(Outcome::L2Hit), &sides);
                 continue;
             }
             stats.l2_misses += 1;
             if let Some(wb) = l2_out.writeback() {
-                if let Some(tracker) = endurance.as_mut() {
-                    tracker.record(wb);
-                }
-                llc_write(
-                    &mut llc,
-                    wb,
-                    &mut llc_writes,
-                    &mut stats,
-                    &mut ports,
-                    core,
-                    llc_write_cycles,
-                    cfg.llc_write_policy,
-                );
+                sides.push_endurance(wb);
+                rec = rec.with_l2_writeback_llc_write();
+                llc_write(&mut llc, wb, &mut stats, &mut core.pending_invalidations);
             }
 
             // Next-line prefetch: a demand L2 miss pulls block+1 into the
@@ -325,18 +626,13 @@ impl System {
                     stats.prefetches += 1;
                     if let Some(e) = core.l2.fill_clean(next) {
                         if e.dirty {
-                            if let Some(tracker) = endurance.as_mut() {
-                                tracker.record(e.block);
-                            }
+                            sides.push_endurance(e.block);
+                            rec = rec.with_prefetch_evict_llc_write();
                             llc_write(
                                 &mut llc,
                                 e.block,
-                                &mut llc_writes,
                                 &mut stats,
-                                &mut ports,
-                                core,
-                                llc_write_cycles,
-                                cfg.llc_write_policy,
+                                &mut core.pending_invalidations,
                             );
                         }
                     }
@@ -347,12 +643,9 @@ impl System {
                             }
                             core.pending_invalidations.push(e.block);
                         }
-                        if let Some(tracker) = endurance.as_mut() {
-                            tracker.record(next);
-                        }
-                        if let Some(dram) = dram.as_mut() {
-                            let _ = dram.access(next, core.cycles);
-                        }
+                        sides.push_endurance(next);
+                        sides.push_dram(next);
+                        rec = rec.with_prefetch_llc_fill();
                     }
                 }
             }
@@ -393,19 +686,7 @@ impl System {
             };
             if llc_hit {
                 stats.llc_hits += 1;
-                if !is_write {
-                    // Loads expose part of the tag+data read path; under
-                    // port contention they additionally queue behind
-                    // writes occupying the banks.
-                    if cfg.llc_write_policy == LlcWritePolicy::PortContention {
-                        let start = claim_port(&mut ports, core.cycles, llc_read_cycles);
-                        let stall = start - core.cycles;
-                        stats.llc_port_stall_cycles += stall as u64;
-                        core.cycles = start + llc_read_cycles * LLC_HIT_EXPOSURE;
-                    } else {
-                        core.cycles += llc_read_cycles * LLC_HIT_EXPOSURE;
-                    }
-                }
+                consume(rec.with_outcome(Outcome::LlcHit), &sides);
                 continue;
             }
             stats.llc_misses += 1;
@@ -415,66 +696,39 @@ impl System {
             // endurance analyses (the array still cycles).
             if llc_filled {
                 stats.llc_fills += 1;
-                if let Some(tracker) = endurance.as_mut() {
-                    tracker.record(block);
-                }
+                sides.push_endurance(block);
+                rec = rec.with_llc_filled();
             }
-
-            if !is_write {
-                // ROB-bounded overlap: the first miss of a cluster pays
-                // the full path (tag check + DRAM); misses within one ROB
-                // width ride in its latency shadow but still occupy the
-                // DRAM channel for one block transfer.
-                // A miss pays the full path when it opens a new shadow —
-                // because it fell outside the previous one, or because the
-                // MSHRs are exhausted; otherwise it rides the shadow for
-                // the bandwidth floor.
-                let opens_window =
-                    core.instructions >= core.miss_shadow_end || core.shadow_misses >= mshrs;
-                match dram.as_mut() {
-                    Some(dram) => {
-                        let ready = dram.access(block, core.cycles + llc_tag_cycles);
-                        if opens_window {
-                            core.cycles = ready;
-                            core.miss_shadow_end = core.instructions + rob;
-                            core.shadow_misses = 1;
-                        } else {
-                            core.cycles += dram_transfer_cycles;
-                            core.shadow_misses += 1;
-                        }
-                    }
-                    None => {
-                        if opens_window {
-                            core.cycles += llc_tag_cycles + dram_cycles;
-                            core.miss_shadow_end = core.instructions + rob;
-                            core.shadow_misses = 1;
-                        } else {
-                            core.cycles += dram_transfer_cycles;
-                            core.shadow_misses += 1;
-                        }
-                    }
-                }
-            } else if let Some(dram) = dram.as_mut() {
-                // Store-triggered fills still occupy the channel.
-                let _ = dram.access(block, core.cycles);
-            }
+            sides.push_dram(block);
+            consume(rec.with_outcome(Outcome::LlcMiss), &sides);
         }
 
-        let max_cycles = cores.iter().map(|c| c.cycles).fold(0.0f64, f64::max);
-        stats.instructions = cores.iter().map(|c| c.instructions).sum();
-        stats.llc_writes = llc_writes;
-        if let Some(dram) = &dram {
-            stats.dram_row_hits = dram.stats().row_hits;
-            stats.dram_row_conflicts = dram.stats().row_conflicts;
-            stats.dram_queue_cycles = dram.stats().queue_cycles;
-        }
         // The per-event counters in `stats` never saw the warmup pass;
         // nothing to correct, but assert the arrays agree with them.
         debug_assert_eq!(
             stats.l1d_hits + stats.l1d_misses + warm_l1.0 + warm_l1.1,
             cores.iter().map(|c| c.l1d.accesses()).sum::<u64>()
         );
-        let _ = (warm_l2, warm_llc);
+        stats
+    }
+
+    /// Assembles a [`SimResult`] from the functional statistics and a
+    /// finished timing engine — the shared tail of both [`System::run`]
+    /// and [`System::replay`].
+    fn finalize(
+        &self,
+        mut stats: SimStats,
+        engine: TimingEngine,
+        endurance: Option<EnduranceTracker>,
+    ) -> SimResult {
+        let cfg = &self.config;
+        let max_cycles = engine.lanes.iter().map(|l| l.cycles).fold(0.0f64, f64::max);
+        stats.llc_port_stall_cycles = engine.port_stall_cycles;
+        if let Some(dram) = &engine.dram {
+            stats.dram_row_hits = dram.stats().row_hits;
+            stats.dram_row_conflicts = dram.stats().row_conflicts;
+            stats.dram_queue_cycles = dram.stats().queue_cycles;
+        }
 
         let exec_time = Seconds::new(max_cycles / (cfg.freq_ghz * 1e9));
         // Equation (8), with the data-write portion scaled by the write
@@ -486,7 +740,7 @@ impl System {
                 * cfg.llc_write_mode.energy_factor();
         let dynamic = stats.llc_hits as f64 * cfg.llc.hit_energy.to_joules().value()
             + stats.llc_misses as f64 * cfg.llc.miss_energy.to_joules().value()
-            + llc_writes as f64 * write_j;
+            + stats.llc_writes as f64 * write_j;
         let leakage = cfg.llc.leakage * exec_time;
 
         let endurance_report =
@@ -515,47 +769,17 @@ fn claim_port(ports: &mut [f64], now: f64, occupancy: f64) -> f64 {
     start
 }
 
-/// An LLC write from an L2 dirty writeback: allocates the block dirty,
-/// charges `E_dyn,write`, applies the write policy's timing, and cascades
-/// any dirty LLC victim to DRAM.
-#[allow(clippy::too_many_arguments)]
-fn llc_write(
-    llc: &mut SetAssocCache,
-    block: u64,
-    llc_writes: &mut u64,
-    stats: &mut SimStats,
-    ports: &mut [f64],
-    core: &mut Core,
-    write_cycles: f64,
-    policy: LlcWritePolicy,
-) {
-    *llc_writes += 1;
+/// The functional half of an LLC write from an L2 dirty writeback:
+/// allocates the block dirty and cascades any dirty LLC victim to DRAM.
+/// The write's `E_dyn,write` count rides in `stats.llc_writes`; its
+/// timing is the engine's business.
+fn llc_write(llc: &mut SetAssocCache, block: u64, stats: &mut SimStats, pending: &mut Vec<u64>) {
+    stats.llc_writes += 1;
     if let Some(victim) = llc.fill_dirty_full(block) {
         if victim.dirty {
             stats.dram_writebacks += 1;
         }
-        core.pending_invalidations.push(victim.block);
-    }
-    apply_write_timing(ports, core, write_cycles, policy, stats);
-}
-
-fn apply_write_timing(
-    ports: &mut [f64],
-    core: &mut Core,
-    write_cycles: f64,
-    policy: LlcWritePolicy,
-    stats: &mut SimStats,
-) {
-    match policy {
-        LlcWritePolicy::OffCriticalPath => {}
-        LlcWritePolicy::PortContention => {
-            // The write occupies a port but the core keeps running.
-            let _ = claim_port(ports, core.cycles, write_cycles);
-        }
-        LlcWritePolicy::Blocking => {
-            core.cycles += write_cycles;
-            stats.llc_port_stall_cycles += write_cycles as u64;
-        }
+        pending.push(victim.block);
     }
 }
 
@@ -900,5 +1124,208 @@ mod tests {
         let blocking = make(LlcWritePolicy::Blocking);
         assert!(off <= port + 1e-12);
         assert!(port <= blocking + 1e-12);
+    }
+
+    // --- Functional/timing split ---------------------------------------
+
+    /// Every knob that only shapes Phase B, stacked at once: replay must
+    /// still be bit-identical to the direct run from one shared tape.
+    #[test]
+    fn replay_is_bit_identical_across_timing_knobs() {
+        let models = reference::fixed_capacity();
+        let trace = workloads::by_name("mg").unwrap().generate(42, 20_000);
+        let recorder =
+            System::new(ArchConfig::gainestown(reference::sram_baseline())).with_warmup(0.25);
+        let tape = recorder.record(&trace);
+        for llc_name in ["SRAM", "Jan", "Kang", "Zhang"] {
+            let llc = reference::by_name(&models, llc_name).unwrap();
+            for policy in [
+                LlcWritePolicy::OffCriticalPath,
+                LlcWritePolicy::PortContention,
+                LlcWritePolicy::Blocking,
+            ] {
+                let system =
+                    System::new(ArchConfig::gainestown(llc.clone()).with_llc_write_policy(policy))
+                        .with_warmup(0.25);
+                assert_eq!(
+                    system.replay(&tape),
+                    system.run(&trace),
+                    "{llc_name} under {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_matches_run_with_detailed_dram_mshrs_and_endurance() {
+        let llc = reference::by_name(&reference::fixed_capacity(), "Kang").unwrap();
+        let trace = workloads::by_name("cg").unwrap().generate(42, 20_000);
+        let system = System::new(
+            ArchConfig::gainestown(llc)
+                .with_detailed_dram()
+                .with_mshrs(8)
+                .with_differential_writes(0.4),
+        )
+        .with_endurance_tracking(WearPolicy::RotateXor { period: 1_000 })
+        .with_warmup(0.25);
+        let tape = system.record(&trace);
+        assert_eq!(system.replay(&tape), system.run(&trace));
+    }
+
+    #[test]
+    fn replay_matches_run_with_functional_knobs_in_the_key() {
+        // Prefetch + bypass + inclusion change the tape itself; a tape
+        // recorded with the same flags still replays bit-identically.
+        let llc = reference::by_name(&reference::fixed_capacity(), "Jan").unwrap();
+        let trace = workloads::by_name("deepsjeng")
+            .unwrap()
+            .generate(42, 30_000);
+        let system = System::new(
+            ArchConfig::gainestown(llc)
+                .with_l2_prefetch()
+                .with_llc_bypass()
+                .with_inclusive_llc(),
+        )
+        .with_warmup(0.25)
+        .with_replacement(Replacement::Random);
+        let tape = system.record(&trace);
+        assert_eq!(system.replay(&tape), system.run(&trace));
+    }
+
+    #[test]
+    fn tape_stats_only_carry_functional_counters() {
+        let llc = reference::sram_baseline();
+        let trace = workloads::by_name("mg").unwrap().generate(42, 10_000);
+        let system = System::new(ArchConfig::gainestown(llc).with_detailed_dram());
+        let tape = system.record(&trace);
+        assert_eq!(tape.stats().llc_port_stall_cycles, 0);
+        assert_eq!(tape.stats().dram_row_hits, 0);
+        assert_eq!(tape.stats().dram_row_conflicts, 0);
+        assert_eq!(tape.stats().dram_queue_cycles, 0);
+        // But the replayed result does report the timing-side stats.
+        let result = system.replay(&tape);
+        assert!(result.stats.dram_row_hits > 0);
+    }
+
+    #[test]
+    fn run_cached_matches_run() {
+        let llc = reference::by_name(&reference::fixed_capacity(), "Xue").unwrap();
+        let trace = std::sync::Arc::new(workloads::by_name("leela").unwrap().generate(7, 15_000));
+        let system = System::new(ArchConfig::gainestown(llc)).with_warmup(0.25);
+        assert_eq!(system.run_cached(&trace), system.run(&trace));
+        // Second fetch replays the cached tape; still identical.
+        assert_eq!(system.run_cached(&trace), system.run(&trace));
+    }
+
+    #[test]
+    fn tape_keys_ignore_timing_knobs_but_honor_functional_ones() {
+        let models = reference::fixed_capacity();
+        let trace = workloads::by_name("tonto").unwrap().generate(42, 1_000);
+        let sram = System::new(ArchConfig::gainestown(
+            reference::by_name(&models, "SRAM").unwrap(),
+        ));
+        // Different technology, same 2 MB geometry: same key.
+        let kang = System::new(
+            ArchConfig::gainestown(reference::by_name(&models, "Kang").unwrap())
+                .with_llc_write_policy(LlcWritePolicy::Blocking)
+                .with_detailed_dram()
+                .with_mshrs(4)
+                .with_differential_writes(0.3),
+        );
+        assert_eq!(sram.tape_key(&trace), kang.tape_key(&trace));
+        // Functional knobs split the key.
+        let prefetching = System::new(
+            ArchConfig::gainestown(reference::by_name(&models, "SRAM").unwrap()).with_l2_prefetch(),
+        );
+        assert_ne!(sram.tape_key(&trace), prefetching.tape_key(&trace));
+        let warmed = System::new(ArchConfig::gainestown(
+            reference::by_name(&models, "SRAM").unwrap(),
+        ))
+        .with_warmup(0.25);
+        assert_ne!(sram.tape_key(&trace), warmed.tape_key(&trace));
+        // And so does the trace identity.
+        let other = workloads::by_name("tonto").unwrap().generate(42, 1_000);
+        assert_ne!(sram.tape_key(&trace), sram.tape_key(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "different core count")]
+    fn replay_rejects_core_count_mismatch() {
+        let llc = reference::sram_baseline();
+        let trace = workloads::by_name("tonto").unwrap().generate(42, 1_000);
+        let tape = System::new(ArchConfig::gainestown(llc.clone())).record(&trace);
+        let _ = System::new(ArchConfig::gainestown(llc).with_cores(2)).replay(&tape);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// The tentpole invariant, fuzzed: for random traces, geometries,
+        /// and flag combinations, recording a tape and replaying it gives
+        /// exactly the `SimResult` the fused single-pass path computes.
+        #[test]
+        fn replay_equals_run_for_random_configs(
+            seed in 0u64..1000,
+            n in 200usize..2500,
+            rf in 0.2f64..0.95,
+            fp_log2 in 8u32..18,
+            threads in 1u8..5,
+            cores in 1u32..5,
+            warmup_idx in 0usize..4,
+            llc_idx in 0usize..11,
+            flags in 0u32..64,
+            policy_idx in 0usize..3,
+            mshrs in 0u32..16,
+        ) {
+            use nvm_llc_trace::{Suite, WorkloadProfile};
+            let w = WorkloadProfile::builder("prop", Suite::Npb)
+                .footprint_blocks(1 << fp_log2)
+                .read_fraction(rf)
+                .threads(threads)
+                .build();
+            let trace = w.generate(seed, n);
+            let models = reference::fixed_capacity();
+            // One bit per boolean knob, so every combination is reachable.
+            let (inclusive, prefetch, bypass, random_repl, detailed, endurance) = (
+                flags & 1 != 0,
+                flags & 2 != 0,
+                flags & 4 != 0,
+                flags & 8 != 0,
+                flags & 16 != 0,
+                flags & 32 != 0,
+            );
+            let mut config = ArchConfig::gainestown(models[llc_idx % models.len()].clone())
+                .with_cores(cores)
+                .with_llc_write_policy(match policy_idx {
+                    0 => LlcWritePolicy::OffCriticalPath,
+                    1 => LlcWritePolicy::PortContention,
+                    _ => LlcWritePolicy::Blocking,
+                });
+            if inclusive {
+                config = config.with_inclusive_llc();
+            }
+            if prefetch {
+                config = config.with_l2_prefetch();
+            }
+            if bypass {
+                config = config.with_llc_bypass();
+            }
+            if detailed {
+                config = config.with_detailed_dram();
+            }
+            if mshrs > 0 {
+                config = config.with_mshrs(mshrs);
+            }
+            let warmup = [0.0, 0.1, 0.25, 0.5][warmup_idx];
+            let mut system = System::new(config).with_warmup(warmup);
+            if random_repl {
+                system = system.with_replacement(Replacement::Random);
+            }
+            if endurance {
+                system = system.with_endurance_tracking(WearPolicy::None);
+            }
+            let tape = system.record(&trace);
+            proptest::prop_assert_eq!(system.replay(&tape), system.run(&trace));
+        }
     }
 }

@@ -1,0 +1,649 @@
+//! Outcome tapes: the functional half of the functional/timing split.
+//!
+//! The functional behavior of the cache hierarchy — which level serves
+//! each access, which writebacks cascade into the LLC, which prefetches
+//! fill, which victims invalidate — depends only on the trace and the
+//! hierarchy *geometry* (core count, L1/L2/LLC shapes, replacement,
+//! warmup, and the inclusive/prefetch/bypass flags). It never depends on
+//! an NVM technology's latency or energy parameters. The paper's matrix
+//! (Figures 1–2) evaluates eleven technologies against one geometry, so
+//! ten of the eleven functional simulations per workload are identical.
+//!
+//! [`System::record`](crate::system::System::record) runs that functional
+//! pass once and emits an [`OutcomeTape`]: one packed [`EventRecord`] per
+//! post-warmup trace event (a flat `Vec<u64>` — no per-event heap
+//! allocation) plus two compact side arrays of block addresses for the
+//! endurance tracker and the detailed-DRAM model.
+//! [`System::replay`](crate::system::System::replay) then applies a
+//! technology's cycle latencies, port contention, ROB/MSHR miss-shadow
+//! accounting, DRAM model, and energy equations (7)–(8) in a tight loop
+//! over the tape, producing a `SimResult` bit-identical to the fused
+//! single-pass [`System::run`](crate::system::System::run).
+//!
+//! [`cache`] memoizes tapes process-wide (exactly-once generation behind
+//! `Arc<OnceLock>`, the same discipline as `nvm_llc_trace::cache`), so an
+//! evaluation matrix performs one functional pass per distinct geometry
+//! and replays everything else.
+
+use crate::cache::Replacement;
+use crate::result::SimStats;
+
+/// Which hierarchy level served a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served by the private L1D.
+    L1Hit,
+    /// L1 miss, served by the private L2.
+    L2Hit,
+    /// L1+L2 miss, served by the shared LLC.
+    LlcHit,
+    /// Missed the whole hierarchy; DRAM provides the block.
+    LlcMiss,
+}
+
+impl Outcome {
+    fn from_bits(bits: u64) -> Outcome {
+        match bits & 0b11 {
+            0 => Outcome::L1Hit,
+            1 => Outcome::L2Hit,
+            2 => Outcome::LlcHit,
+            _ => Outcome::LlcMiss,
+        }
+    }
+}
+
+/// One trace event's functional outcome, packed into a `u64`.
+///
+/// Layout (low to high): gap instructions (32 bits), core index (8),
+/// is-write (1), outcome class (2), then one bit per side-event flag.
+/// The flags fully determine how many entries the event consumes from
+/// the tape's endurance and DRAM side arrays, so replay needs no per-
+/// event indices into them — a running cursor suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord(u64);
+
+impl EventRecord {
+    const CORE_SHIFT: u32 = 32;
+    const IS_WRITE: u64 = 1 << 40;
+    const CLASS_SHIFT: u32 = 41;
+    const L1_WB_LLC_WRITE: u64 = 1 << 43;
+    const L2_WB_LLC_WRITE: u64 = 1 << 44;
+    const PF_EVICT_LLC_WRITE: u64 = 1 << 45;
+    const PF_LLC_FILL: u64 = 1 << 46;
+    const LLC_FILLED: u64 = 1 << 47;
+
+    /// Starts a record for an event on `core` after `gap` non-memory
+    /// instructions, defaulting to an L1 hit with no side events.
+    pub fn new(core: u8, gap: u32, is_write: bool) -> EventRecord {
+        let mut bits = u64::from(gap) | (u64::from(core) << Self::CORE_SHIFT);
+        if is_write {
+            bits |= Self::IS_WRITE;
+        }
+        EventRecord(bits)
+    }
+
+    /// Sets the outcome class (default [`Outcome::L1Hit`]).
+    pub fn with_outcome(mut self, outcome: Outcome) -> EventRecord {
+        self.0 |= (outcome as u64) << Self::CLASS_SHIFT;
+        self
+    }
+
+    /// Flags an LLC write from the L1 victim's L2-eviction cascade.
+    pub fn with_l1_writeback_llc_write(mut self) -> EventRecord {
+        self.0 |= Self::L1_WB_LLC_WRITE;
+        self
+    }
+
+    /// Flags an LLC write from the L2's own dirty victim.
+    pub fn with_l2_writeback_llc_write(mut self) -> EventRecord {
+        self.0 |= Self::L2_WB_LLC_WRITE;
+        self
+    }
+
+    /// Flags an LLC write from the prefetch fill's dirty L2 victim.
+    pub fn with_prefetch_evict_llc_write(mut self) -> EventRecord {
+        self.0 |= Self::PF_EVICT_LLC_WRITE;
+        self
+    }
+
+    /// Flags a prefetch fill that allocated in the LLC (one DRAM access).
+    pub fn with_prefetch_llc_fill(mut self) -> EventRecord {
+        self.0 |= Self::PF_LLC_FILL;
+        self
+    }
+
+    /// Flags a demand miss that allocated its block (not bypassed).
+    pub fn with_llc_filled(mut self) -> EventRecord {
+        self.0 |= Self::LLC_FILLED;
+        self
+    }
+
+    /// Non-memory instructions preceding the access.
+    pub fn gap_instructions(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Core (0-based) the event ran on.
+    pub fn core(self) -> usize {
+        (self.0 >> Self::CORE_SHIFT) as u8 as usize
+    }
+
+    /// Whether the access was a store.
+    pub fn is_write(self) -> bool {
+        self.0 & Self::IS_WRITE != 0
+    }
+
+    /// The serving level.
+    pub fn outcome(self) -> Outcome {
+        Outcome::from_bits(self.0 >> Self::CLASS_SHIFT)
+    }
+
+    /// LLC write from the L1 victim cascade?
+    pub fn l1_writeback_llc_write(self) -> bool {
+        self.0 & Self::L1_WB_LLC_WRITE != 0
+    }
+
+    /// LLC write from the L2 dirty victim?
+    pub fn l2_writeback_llc_write(self) -> bool {
+        self.0 & Self::L2_WB_LLC_WRITE != 0
+    }
+
+    /// LLC write from the prefetch fill's dirty L2 victim?
+    pub fn prefetch_evict_llc_write(self) -> bool {
+        self.0 & Self::PF_EVICT_LLC_WRITE != 0
+    }
+
+    /// Prefetch allocated in the LLC?
+    pub fn prefetch_llc_fill(self) -> bool {
+        self.0 & Self::PF_LLC_FILL != 0
+    }
+
+    /// Demand miss allocated its block?
+    pub fn llc_filled(self) -> bool {
+        self.0 & Self::LLC_FILLED != 0
+    }
+}
+
+/// Per-event side-event scratch: block addresses the event contributed to
+/// the endurance and DRAM streams, in emission order. Fixed-capacity (an
+/// event touches the LLC array at most five times and DRAM at most
+/// twice), so the hot loop never allocates.
+#[derive(Debug, Default)]
+pub(crate) struct SideEvents {
+    endurance: [u64; 5],
+    endurance_len: u8,
+    dram: [u64; 2],
+    dram_len: u8,
+}
+
+impl SideEvents {
+    pub(crate) fn clear(&mut self) {
+        self.endurance_len = 0;
+        self.dram_len = 0;
+    }
+
+    /// Queues one LLC array write (endurance stream).
+    pub(crate) fn push_endurance(&mut self, block: u64) {
+        self.endurance[usize::from(self.endurance_len)] = block;
+        self.endurance_len += 1;
+    }
+
+    /// Queues one DRAM access (detailed-DRAM stream).
+    pub(crate) fn push_dram(&mut self, block: u64) {
+        self.dram[usize::from(self.dram_len)] = block;
+        self.dram_len += 1;
+    }
+
+    pub(crate) fn endurance(&self) -> &[u64] {
+        &self.endurance[..usize::from(self.endurance_len)]
+    }
+
+    pub(crate) fn dram(&self) -> &[u64] {
+        &self.dram[..usize::from(self.dram_len)]
+    }
+}
+
+/// The recorded functional outcome of one `(trace, geometry)` pair —
+/// everything Phase B (timing/energy replay) needs, and nothing else.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeTape {
+    /// One packed record per post-warmup trace event, in trace order.
+    records: Vec<EventRecord>,
+    /// LLC array-write block addresses (endurance stream), in order.
+    endurance_blocks: Vec<u64>,
+    /// DRAM access block addresses (detailed-DRAM stream), in order.
+    dram_blocks: Vec<u64>,
+    /// Functional counters (the timing-side fields stay zero).
+    stats: SimStats,
+    /// Core count the tape was recorded for (replay must match).
+    cores: u32,
+}
+
+impl OutcomeTape {
+    pub(crate) fn with_capacity(events: usize, cores: u32) -> OutcomeTape {
+        OutcomeTape {
+            records: Vec::with_capacity(events),
+            endurance_blocks: Vec::new(),
+            dram_blocks: Vec::new(),
+            stats: SimStats::default(),
+            cores,
+        }
+    }
+
+    pub(crate) fn push(&mut self, record: EventRecord, sides: &SideEvents) {
+        self.records.push(record);
+        self.endurance_blocks.extend_from_slice(sides.endurance());
+        self.dram_blocks.extend_from_slice(sides.dram());
+    }
+
+    pub(crate) fn set_stats(&mut self, stats: SimStats) {
+        self.stats = stats;
+    }
+
+    /// Per-event records.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// The endurance stream (LLC array writes, block addresses).
+    pub fn endurance_blocks(&self) -> &[u64] {
+        &self.endurance_blocks
+    }
+
+    /// The DRAM stream (block addresses, `Dram::access` call order).
+    pub fn dram_blocks(&self) -> &[u64] {
+        &self.dram_blocks
+    }
+
+    /// The functional statistics of the recorded run (timing fields zero).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Core count the tape encodes.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Post-warmup events on the tape.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the tape holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (capacity-based).
+    pub fn bytes(&self) -> usize {
+        self.records.capacity() * std::mem::size_of::<EventRecord>()
+            + (self.endurance_blocks.capacity() + self.dram_blocks.capacity())
+                * std::mem::size_of::<u64>()
+    }
+}
+
+/// Everything the functional pass depends on: change any field and the
+/// outcome tape changes; hold them fixed and every technology shares one.
+///
+/// Notably absent: latencies, energies, the LLC write policy, ROB/MSHR
+/// bounds, the DRAM backend choice, write mode, and endurance tracking —
+/// those only shape Phase B.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TapeKey {
+    trace_uid: u64,
+    cores: u32,
+    /// (capacity, associativity, block) per private level.
+    l1d: (u64, u32, u32),
+    l2: (u64, u32, u32),
+    llc_capacity_bytes: u64,
+    replacement: Replacement,
+    /// `f64::to_bits` of the warmup fraction (bit-exact key).
+    warmup_bits: u64,
+    inclusive_llc: bool,
+    l2_prefetch: bool,
+    llc_bypass: bool,
+}
+
+impl TapeKey {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        trace_uid: u64,
+        cores: u32,
+        l1d: (u64, u32, u32),
+        l2: (u64, u32, u32),
+        llc_capacity_bytes: u64,
+        replacement: Replacement,
+        warmup_fraction: f64,
+        inclusive_llc: bool,
+        l2_prefetch: bool,
+        llc_bypass: bool,
+    ) -> TapeKey {
+        TapeKey {
+            trace_uid,
+            cores,
+            l1d,
+            l2,
+            llc_capacity_bytes,
+            replacement,
+            warmup_bits: warmup_fraction.to_bits(),
+            inclusive_llc,
+            l2_prefetch,
+            llc_bypass,
+        }
+    }
+}
+
+pub mod cache {
+    //! Process-wide outcome-tape cache: one functional pass per distinct
+    //! `(trace, geometry)` key, shared by every technology replaying it.
+    //!
+    //! Mirrors `nvm_llc_trace::cache`: concurrent fetches of one key race
+    //! to install a slot, exactly one runs [`System::record`], the rest
+    //! block on the slot's `OnceLock` and receive the same
+    //! `Arc<OutcomeTape>`. Entries live for the process (an evaluation's
+    //! working set is one tape per geometry; [`clear`] exists for cold-
+    //! cache benchmarking). [`stats`] exposes hit/miss/byte counters so
+    //! experiment binaries can log cache effectiveness.
+
+    use std::collections::HashMap;
+    use std::fmt;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    use nvm_llc_trace::Trace;
+
+    use super::{OutcomeTape, TapeKey};
+    use crate::system::System;
+
+    type Slot = Arc<OnceLock<Arc<OutcomeTape>>>;
+
+    fn map() -> &'static Mutex<HashMap<TapeKey, Slot>> {
+        static MAP: OnceLock<Mutex<HashMap<TapeKey, Slot>>> = OnceLock::new();
+        MAP.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Counters describing the cache's effectiveness so far.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct CacheStats {
+        /// Fetches served by an already-installed tape slot.
+        pub hits: u64,
+        /// Fetches that had to record a new tape (one functional pass
+        /// each — in an evaluation matrix this equals the number of
+        /// distinct geometries × traces).
+        pub misses: u64,
+        /// Total bytes of tape recorded.
+        pub bytes: u64,
+    }
+
+    impl fmt::Display for CacheStats {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "{} hits / {} functional passes, {:.1} MiB taped",
+                self.hits,
+                self.misses,
+                self.bytes as f64 / (1024.0 * 1024.0)
+            )
+        }
+    }
+
+    /// Fetches (recording at most once per process) the outcome tape for
+    /// running `system` over `trace`.
+    ///
+    /// Keyed by [`System::tape_key`]; every technology whose
+    /// configuration shares the functional geometry receives a pointer-
+    /// equal `Arc<OutcomeTape>`.
+    pub fn fetch(system: &System, trace: &Arc<Trace>) -> Arc<OutcomeTape> {
+        let key = system.tape_key(trace);
+        let (slot, fresh) = {
+            let mut map = map().lock().expect("tape cache lock");
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    map.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        // A slot found in the map may still be mid-generation; only the
+        // installer counts the miss, everyone else a hit (they reuse the
+        // single functional pass either way).
+        if fresh {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(slot.get_or_init(|| {
+            let tape = Arc::new(system.record(trace));
+            BYTES.fetch_add(tape.bytes() as u64, Ordering::Relaxed);
+            tape
+        }))
+    }
+
+    /// Drops every cached tape (cold-cache benchmarking; in-flight `Arc`s
+    /// stay alive until their holders drop them). Counters keep running.
+    pub fn clear() {
+        map().lock().expect("tape cache lock").clear();
+    }
+
+    /// Number of cached tape slots.
+    pub fn len() -> usize {
+        map().lock().expect("tape cache lock").len()
+    }
+
+    /// Snapshot of the process-wide cache counters.
+    pub fn stats() -> CacheStats {
+        CacheStats {
+            hits: HITS.load(Ordering::Relaxed),
+            misses: MISSES.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_every_field() {
+        let r = EventRecord::new(3, 0xDEAD_BEEF, true)
+            .with_outcome(Outcome::LlcMiss)
+            .with_l1_writeback_llc_write()
+            .with_l2_writeback_llc_write()
+            .with_prefetch_evict_llc_write()
+            .with_prefetch_llc_fill()
+            .with_llc_filled();
+        assert_eq!(r.gap_instructions(), 0xDEAD_BEEF);
+        assert_eq!(r.core(), 3);
+        assert!(r.is_write());
+        assert_eq!(r.outcome(), Outcome::LlcMiss);
+        assert!(r.l1_writeback_llc_write());
+        assert!(r.l2_writeback_llc_write());
+        assert!(r.prefetch_evict_llc_write());
+        assert!(r.prefetch_llc_fill());
+        assert!(r.llc_filled());
+    }
+
+    #[test]
+    fn default_record_is_a_flagless_l1_hit() {
+        let r = EventRecord::new(0, 7, false);
+        assert_eq!(r.outcome(), Outcome::L1Hit);
+        assert!(!r.is_write());
+        assert!(!r.l1_writeback_llc_write());
+        assert!(!r.l2_writeback_llc_write());
+        assert!(!r.prefetch_evict_llc_write());
+        assert!(!r.prefetch_llc_fill());
+        assert!(!r.llc_filled());
+        assert_eq!(r.gap_instructions(), 7);
+    }
+
+    #[test]
+    fn outcome_classes_round_trip() {
+        for o in [
+            Outcome::L1Hit,
+            Outcome::L2Hit,
+            Outcome::LlcHit,
+            Outcome::LlcMiss,
+        ] {
+            assert_eq!(EventRecord::new(0, 0, false).with_outcome(o).outcome(), o);
+        }
+    }
+
+    #[test]
+    fn side_events_accumulate_and_clear() {
+        let mut s = SideEvents::default();
+        s.push_endurance(10);
+        s.push_endurance(20);
+        s.push_dram(30);
+        assert_eq!(s.endurance(), &[10, 20]);
+        assert_eq!(s.dram(), &[30]);
+        s.clear();
+        assert!(s.endurance().is_empty());
+        assert!(s.dram().is_empty());
+    }
+
+    #[test]
+    fn tape_push_appends_records_and_streams() {
+        let mut tape = OutcomeTape::with_capacity(2, 4);
+        let mut s = SideEvents::default();
+        s.push_endurance(1);
+        s.push_dram(2);
+        tape.push(EventRecord::new(0, 0, false), &s);
+        s.clear();
+        tape.push(EventRecord::new(1, 5, true), &s);
+        assert_eq!(tape.len(), 2);
+        assert!(!tape.is_empty());
+        assert_eq!(tape.endurance_blocks(), &[1]);
+        assert_eq!(tape.dram_blocks(), &[2]);
+        assert_eq!(tape.cores(), 4);
+        assert!(tape.bytes() >= 2 * 8 + 2 * 8);
+    }
+
+    #[test]
+    fn tape_keys_distinguish_every_functional_knob() {
+        let base = || {
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.25,
+                false,
+                false,
+                false,
+            )
+        };
+        assert_eq!(base(), base());
+        let mut variants = vec![
+            TapeKey::new(
+                2,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                8,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                4 << 20,
+                Replacement::Lru,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Random,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.0,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.25,
+                true,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.25,
+                false,
+                true,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Lru,
+                0.25,
+                false,
+                false,
+                true,
+            ),
+        ];
+        variants.dedup();
+        for v in &variants {
+            assert_ne!(*v, base());
+        }
+    }
+}

@@ -10,6 +10,14 @@ use std::fmt;
 /// Cache block size assumed throughout the system (Table IV: 64 B blocks).
 pub const BLOCK_BYTES: u64 = 64;
 
+/// Monotone trace-identity source. Starts at 1 so the derived
+/// `Trace::default()` (uid 0, no events) can never alias a built trace.
+fn next_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The kind of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
@@ -76,6 +84,7 @@ impl TraceEvent {
 pub struct Trace {
     events: Vec<TraceEvent>,
     threads: u8,
+    uid: u64,
 }
 
 impl Trace {
@@ -91,7 +100,22 @@ impl Trace {
             events.iter().all(|e| e.tid < threads),
             "event tid out of range"
         );
-        Trace { events, threads }
+        Trace {
+            events,
+            threads,
+            uid: next_uid(),
+        }
+    }
+
+    /// Process-unique identity of this trace object, assigned at
+    /// construction and shared by clones (a clone has identical events).
+    ///
+    /// Downstream memoization (the simulator's outcome-tape cache) keys on
+    /// this instead of hashing millions of events: traces obtained from
+    /// [`crate::cache`] are themselves deduplicated, so equal-content
+    /// traces normally share one uid via the same `Arc`.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of threads.
@@ -197,6 +221,16 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn rejects_zero_threads() {
         let _ = Trace::new(vec![], 0);
+    }
+
+    #[test]
+    fn uids_are_unique_per_construction_and_shared_by_clones() {
+        let a = Trace::new(vec![ev(0, 0, AccessKind::Read, 0)], 1);
+        let b = Trace::new(vec![ev(0, 0, AccessKind::Read, 0)], 1);
+        assert_ne!(a.uid(), b.uid(), "distinct constructions, distinct uids");
+        assert_eq!(a.uid(), a.clone().uid(), "a clone has identical events");
+        assert_ne!(a.uid(), 0, "built traces never collide with default()");
+        assert_eq!(Trace::default().uid(), 0);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Parallel evaluation engine, end to end: the scoped worker pool must be
-//! bit-identical to the serial path, and the process-wide trace cache
-//! must hand every same-key consumer the same `Arc<Trace>`.
+//! bit-identical to the serial path, the process-wide trace cache must
+//! hand every same-key consumer the same `Arc<Trace>`, and the
+//! tape-replay path (`System::run_cached` behind `run_all`) must agree
+//! exactly with direct `System::run` at every worker count.
 
 use std::sync::Arc;
 
@@ -63,4 +65,60 @@ fn evaluator_runs_share_the_trace_cache() {
     let cached = nvm_llc::trace::cache::fetch(&w, 2019, accesses);
     let again = w.generate_shared(2019, accesses);
     assert!(Arc::ptr_eq(&cached, &again));
+}
+
+/// The functional/timing split behind `run_all`: matrices computed via
+/// cached outcome tapes are bit-identical at every worker count, and
+/// every single cell agrees exactly with a fresh, cache-free
+/// `System::run` over an independently generated trace.
+#[test]
+fn tape_replay_matrix_matches_direct_runs_at_every_worker_count() {
+    let ws: Vec<_> = ["tonto", "mg"]
+        .iter()
+        .map(|n| workloads::by_name(n).unwrap())
+        .collect();
+    let reference_rows = evaluator().threads(1).run_all(&ws);
+    for threads in [2, 4, 8] {
+        assert_eq!(evaluator().threads(threads).run_all(&ws), reference_rows);
+    }
+    // Cross-check the whole 11-technology matrix against the fused
+    // single-pass path, cell by cell. The traces are re-generated (not
+    // fetched from the cache), so these runs share nothing with the
+    // matrix above except the math.
+    let models = reference::fixed_capacity();
+    for (row, w) in reference_rows.iter().zip(&ws) {
+        let trace = w.generate(2019, w.scaled_accesses(8_000));
+        for model in &models {
+            let direct = System::new(ArchConfig::gainestown(model.clone()))
+                .with_warmup(nvm_llc::sim::runner::DEFAULT_WARMUP)
+                .run(&trace);
+            let from_matrix = if model.name == "SRAM" {
+                &row.baseline
+            } else {
+                &row.entry(&model.name).expect("matrix covers model").result
+            };
+            assert_eq!(&direct, from_matrix, "{} on {}", model.name, row.workload);
+        }
+    }
+}
+
+/// `run_cached` is replay-backed: repeated fetches reuse one recorded
+/// tape (pointer-equal through the cache) and still reproduce `run`.
+#[test]
+fn run_cached_reuses_one_tape_per_geometry() {
+    let w = workloads::by_name("ft").unwrap();
+    let trace = w.generate_shared(7, 4_000);
+    let models = reference::fixed_capacity();
+    let sram = System::new(ArchConfig::gainestown(
+        reference::by_name(&models, "SRAM").unwrap(),
+    ));
+    let kang = System::new(ArchConfig::gainestown(
+        reference::by_name(&models, "Kang").unwrap(),
+    ));
+    // Same trace + same 2 MB geometry: one tape serves both systems.
+    let tape_a = nvm_llc::sim::tape::cache::fetch(&sram, &trace);
+    let tape_b = nvm_llc::sim::tape::cache::fetch(&kang, &trace);
+    assert!(Arc::ptr_eq(&tape_a, &tape_b));
+    assert_eq!(sram.run_cached(&trace), sram.run(&trace));
+    assert_eq!(kang.run_cached(&trace), kang.run(&trace));
 }
