@@ -1,5 +1,5 @@
-//! Headline numbers for the functional/timing split, dumped to
-//! `BENCH_tape.json` at the repository root.
+//! Headline numbers for the functional/timing split and the batched
+//! replay engine, dumped to `BENCH_tape.json` at the repository root.
 //!
 //! Reported measurements (best of three, single worker thread so the
 //! tape effect is not conflated with pool parallelism):
@@ -7,11 +7,15 @@
 //! * per-phase cost of one cell: `System::record` (functional pass),
 //!   `System::replay` (timing pass), and the fused `System::run`;
 //! * the fixed-capacity matrix (11 technologies sharing one 2 MB LLC
-//!   geometry) three ways: all-direct (pre-split behavior, one fused
-//!   run per cell), cold tape (record once per workload + replay), and
-//!   warm tape (every tape already cached).
+//!   geometry) four ways: all-direct (pre-split behavior, one fused
+//!   run per cell), cold tape (record once per workload + replay), warm
+//!   per-technology replay (PR 2's path, 11 separate tape decodes per
+//!   workload), and warm batched replay (one `DecodedTape` driving all
+//!   11 timing engines in lockstep).
 //!
-//! The acceptance bar for the split is `warm_speedup_vs_direct >= 3`.
+//! Acceptance bars: `warm_speedup_vs_direct >= 3` (the split) and
+//! `batched_speedup_vs_per_tech >= 1` (batching never loses; CI fails
+//! the bench-smoke job below 1).
 
 use std::time::Instant;
 
@@ -75,22 +79,34 @@ fn main() {
         }
     });
 
-    let evaluator = Evaluator::new(sram, nvms)
+    let evaluator = Evaluator::new(sram.clone(), nvms.clone())
         .base_accesses(BASE_ACCESSES)
         .seed(SEED)
         .threads(1);
+    let per_tech = Evaluator::new(sram, nvms)
+        .base_accesses(BASE_ACCESSES)
+        .seed(SEED)
+        .threads(1)
+        .batched(false);
 
     // Cold: the cache is emptied first, so each iteration pays one
-    // functional pass per workload plus 11 replays.
+    // functional pass per workload plus the batched replay.
     let cold_ms = best_of(REPEATS, || {
         nvm_llc::sim::tape::cache::clear();
         std::hint::black_box(evaluator.run_all(&ws));
     });
 
-    // Warm: every geometry's tape is already recorded; the whole matrix
-    // is timing replays.
-    let _ = evaluator.run_all(&ws);
+    // Warm, per-technology (PR 2's reference path): every geometry's
+    // tape is already recorded; each of the 11 cells decodes the packed
+    // tape on its own.
+    let _ = per_tech.run_all(&ws);
     let warm_ms = best_of(REPEATS, || {
+        std::hint::black_box(per_tech.run_all(&ws));
+    });
+
+    // Warm, batched: one decode per workload drives all 11 timing
+    // engines in lockstep over the struct-of-arrays `DecodedTape`.
+    let batched_ms = best_of(REPEATS, || {
         std::hint::black_box(evaluator.run_all(&ws));
     });
 
@@ -98,9 +114,10 @@ fn main() {
     let replay_speedup = fused_ms / replay_ms;
     let warm_speedup = direct_ms / warm_ms;
     let cold_speedup = direct_ms / cold_ms;
+    let batched_speedup = warm_ms / batched_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2}\n  }},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"replay_batched_ms\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2},\n    \"batched_speedup_vs_per_tech\": {:.2}\n  }},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {},\n    \"raw_bytes\": {},\n    \"evictions\": {}\n  }}\n}}\n",
         ws.len(),
         models.len(),
         BASE_ACCESSES,
@@ -112,11 +129,15 @@ fn main() {
         direct_ms,
         cold_ms,
         warm_ms,
+        batched_ms,
         cold_speedup,
         warm_speedup,
+        batched_speedup,
         stats.hits,
         stats.misses,
         stats.bytes,
+        stats.raw_bytes,
+        stats.evictions,
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tape.json");
@@ -128,5 +149,10 @@ fn main() {
         warm_speedup >= 3.0,
         "warm-tape matrix must be >= 3x faster than the all-direct path \
          (got {warm_speedup:.2}x)"
+    );
+    assert!(
+        batched_speedup >= 1.0,
+        "batched replay must never be slower than per-technology replay \
+         (got {batched_speedup:.2}x)"
     );
 }

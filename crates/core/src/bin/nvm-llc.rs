@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! nvm-llc <artifact> [--scale smoke|default|full] [--threads N]
+//!         [--tape-cache-mb N]
 //!
 //! artifacts:
 //!   table2 | table3 | table4 | table5 | table6
@@ -23,6 +24,7 @@ use nvm_llc::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nvm-llc <artifact> [--scale smoke|default|full] [--threads N]\n\
+         \x20               [--tape-cache-mb N]   (0 lifts the tape-cache bound)\n\
          artifacts: table2 table3 table4 table5 table6 fig1 fig2 fig4 sweep\n\
          \x20          lifetime selection dl all | cell <name> | characterize <bmk> | mrc <bmk>"
     );
@@ -61,6 +63,28 @@ fn apply_threads(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `--tape-cache-mb N` bounds the process-wide outcome-tape cache to
+/// `N` MiB (`0` lifts the bound entirely, the default is ~256 MiB).
+fn apply_tape_cache_budget(args: &[String]) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--tape-cache-mb") else {
+        return Ok(());
+    };
+    let value = args.get(i + 1).map(String::as_str);
+    match value.and_then(|v| v.parse::<u64>().ok()) {
+        Some(0) => {
+            nvm_llc::sim::tape::cache::set_byte_budget(u64::MAX);
+            Ok(())
+        }
+        Some(mib) => {
+            nvm_llc::sim::tape::cache::set_byte_budget(mib << 20);
+            Ok(())
+        }
+        None => Err(format!(
+            "bad --tape-cache-mb value {value:?} (want an integer >= 0)"
+        )),
+    }
+}
+
 /// After an evaluation artifact finishes, say how well the two
 /// process-wide caches did: generated traces held, and the tape cache's
 /// functional-pass accounting.
@@ -85,6 +109,10 @@ fn main() -> ExitCode {
         }
     };
     if let Err(e) = apply_threads(&args) {
+        eprintln!("{e}");
+        return usage();
+    }
+    if let Err(e) = apply_tape_cache_budget(&args) {
         eprintln!("{e}");
         return usage();
     }

@@ -1,22 +1,28 @@
 //! Experiment runner: workload × LLC-technology matrices with
 //! SRAM-normalized metrics (the data behind the paper's Figures 1 and 2).
 //!
-//! [`Evaluator::run_all`] fans the (workload × technology) cell grid out
-//! over a scoped worker pool (`std::thread::scope` plus an atomic
-//! work-index queue — no external dependencies). Each cell is an
-//! independent deterministic [`System::run_cached`] over a shared
-//! immutable trace from [`nvm_llc_trace::cache`], so results are
-//! **bit-identical at every worker count**: cells land in a pre-sized
-//! slot vector indexed by cell number and rows are assembled serially
-//! afterwards. The worker count comes from [`Evaluator::threads`], else
-//! the `NVM_LLC_THREADS` environment variable, else
+//! [`Evaluator::run_all`] groups the (workload × technology) cell grid
+//! by outcome-tape key — cells sharing a trace and a functional geometry
+//! share one functional pass *and* one batched replay — and fans the
+//! groups out over a scoped worker pool (`std::thread::scope` plus an
+//! atomic work-index queue — no external dependencies). Results land in
+//! a pre-sized slot vector indexed by cell number and rows are assembled
+//! serially afterwards, so output is **bit-identical at every worker
+//! count**. The worker count comes from [`Evaluator::threads`], else the
+//! `NVM_LLC_THREADS` environment variable, else
 //! [`std::thread::available_parallelism`]; `1` takes the exact legacy
 //! serial path (no threads spawned).
 //!
-//! Cells also share *functional* work: `run_cached` fetches each cell's
-//! outcome tape from [`crate::tape::cache`], so all technologies whose
-//! LLC capacity matches (the whole fixed-capacity matrix, for instance)
-//! run Phase A once per workload and only replay Phase B per technology.
+//! Cells share work at two levels. All technologies whose functional
+//! geometry matches (the whole fixed-capacity matrix, for instance) run
+//! Phase A once per workload via [`crate::tape::cache`]. On top of that,
+//! the **batched replay path** ([`System::replay_batch`], the default —
+//! see [`Evaluator::batched`]) decodes that shared tape once and drives
+//! every technology's timing engine over the single decoded stream, so a
+//! warm fixed-capacity matrix costs one decode + N cheap timing
+//! applications per workload instead of N full replays. Singleton groups
+//! (and `batched(false)` evaluators) take the per-technology
+//! [`System::run_cached`] reference path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -27,6 +33,7 @@ use nvm_llc_trace::{Trace, WorkloadProfile};
 use crate::config::ArchConfig;
 use crate::result::SimResult;
 use crate::system::System;
+use crate::tape::TapeKey;
 
 /// How many accesses (per thread, before the workload's relative-volume
 /// scaling) an evaluation replays by default. Tests use smaller runs.
@@ -105,6 +112,8 @@ pub struct Evaluator {
     cores: Option<u32>,
     warmup: f64,
     threads: Option<usize>,
+    batched: bool,
+    tape_cache_bytes: Option<u64>,
 }
 
 impl Evaluator {
@@ -118,6 +127,8 @@ impl Evaluator {
             cores: None,
             warmup: DEFAULT_WARMUP,
             threads: None,
+            batched: true,
+            tape_cache_bytes: None,
         }
     }
 
@@ -151,6 +162,24 @@ impl Evaluator {
     /// threads are spawned). Takes precedence over [`THREADS_ENV`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables or disables the batched replay path (default on). When
+    /// off, every cell takes the per-technology [`System::run_cached`]
+    /// reference path — useful for benchmarking the batching itself;
+    /// results are bit-identical either way.
+    pub fn batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
+    }
+
+    /// Overrides the process-wide outcome-tape cache byte budget for
+    /// this evaluator's runs (applied via
+    /// [`crate::tape::cache::set_byte_budget`] at the start of each
+    /// [`Evaluator::run_all`]).
+    pub fn tape_cache_bytes(mut self, bytes: u64) -> Self {
+        self.tape_cache_bytes = Some(bytes);
         self
     }
 
@@ -189,58 +218,103 @@ impl Evaluator {
 
     /// Runs a whole workload list (a full Figure 1a/1b/2a/2b panel).
     ///
-    /// The (workload × technology) cell grid is distributed over
-    /// [`Evaluator::effective_threads`] scoped workers pulling cell
-    /// indices from an atomic queue. Every cell is an independent
-    /// deterministic simulation over a shared [`Arc<Trace>`], and results
-    /// land in a slot vector indexed by cell, so the output is
-    /// bit-identical to the serial path regardless of worker count or
-    /// scheduling.
+    /// Cells are grouped by outcome-tape key — all technologies sharing
+    /// a workload's functional geometry form one group, replayed in a
+    /// single batched pass over one decoded tape
+    /// ([`System::replay_batch`]) — and the groups are distributed over
+    /// [`Evaluator::effective_threads`] scoped workers pulling group
+    /// indices from an atomic queue. Every group is an independent
+    /// deterministic computation over a shared [`Arc<Trace>`], and
+    /// results land in a slot vector indexed by cell, so the output is
+    /// bit-identical to the serial path regardless of worker count,
+    /// scheduling, or whether batching is enabled.
     pub fn run_all(&self, workloads: &[WorkloadProfile]) -> Vec<MatrixRow> {
+        if let Some(bytes) = self.tape_cache_bytes {
+            crate::tape::cache::set_byte_budget(bytes);
+        }
         let traces: Vec<Arc<Trace>> = workloads
             .iter()
             .map(|w| w.generate_shared(self.seed, w.scaled_accesses(self.base_accesses)))
             .collect();
-        // Cell grid: workload-major, baseline first then each NVM.
+        // Cell grid: workload-major, baseline first then each NVM. One
+        // `System` per technology column — they are trace-independent.
         let width = 1 + self.nvms.len();
         let cells = workloads.len() * width;
-        let run_cell = |cell: usize| -> SimResult {
-            let (wi, mi) = (cell / width, cell % width);
-            let llc = if mi == 0 {
-                &self.baseline
+        let systems: Vec<System> = (0..width)
+            .map(|mi| {
+                let llc = if mi == 0 {
+                    &self.baseline
+                } else {
+                    &self.nvms[mi - 1]
+                };
+                System::new(self.config(llc)).with_warmup(self.warmup)
+            })
+            .collect();
+
+        // Work items: per workload, the technology columns grouped by
+        // tape key (insertion-ordered, so scheduling stays
+        // deterministic). With batching off every column is its own
+        // singleton group.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (wi, trace) in traces.iter().enumerate() {
+            if self.batched {
+                let mut by_key: Vec<(TapeKey, Vec<usize>)> = Vec::new();
+                for (mi, system) in systems.iter().enumerate() {
+                    let key = system.tape_key(trace);
+                    match by_key.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, cols)) => cols.push(mi),
+                        None => by_key.push((key, vec![mi])),
+                    }
+                }
+                groups.extend(by_key.into_iter().map(|(_, cols)| (wi, cols)));
             } else {
-                &self.nvms[mi - 1]
-            };
-            System::new(self.config(llc))
-                .with_warmup(self.warmup)
-                .run_cached(&traces[wi])
+                groups.extend((0..width).map(|mi| (wi, vec![mi])));
+            }
+        }
+
+        // Singleton groups take the per-technology reference path;
+        // larger ones fetch the shared tape once and batch-replay it.
+        let run_group = |wi: usize, cols: &[usize]| -> Vec<SimResult> {
+            if let [mi] = cols {
+                return vec![systems[*mi].run_cached(&traces[wi])];
+            }
+            let group: Vec<&System> = cols.iter().map(|&mi| &systems[mi]).collect();
+            let tape = crate::tape::cache::fetch(group[0], &traces[wi]);
+            System::replay_batch(&group, &tape)
+        };
+        let place = |slots: &[OnceLock<SimResult>], wi: usize, cols: &[usize]| {
+            for (mi, result) in cols.iter().zip(run_group(wi, cols)) {
+                slots[wi * width + mi]
+                    .set(result)
+                    .unwrap_or_else(|_| unreachable!("cell computed twice"));
+            }
         };
 
-        let threads = self.effective_threads().min(cells.max(1));
-        let results: Vec<SimResult> = if threads <= 1 {
-            // Exact legacy serial path: cells in order, current thread.
-            (0..cells).map(run_cell).collect()
+        let slots: Vec<OnceLock<SimResult>> = (0..cells).map(|_| OnceLock::new()).collect();
+        let threads = self.effective_threads().min(groups.len().max(1));
+        if threads <= 1 {
+            // Exact legacy serial path: groups in order, current thread.
+            for (wi, cols) in &groups {
+                place(&slots, *wi, cols);
+            }
         } else {
-            let slots: Vec<OnceLock<SimResult>> = (0..cells).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
-                        let cell = next.fetch_add(1, Ordering::Relaxed);
-                        if cell >= cells {
+                        let item = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((wi, cols)) = groups.get(item) else {
                             break;
-                        }
-                        slots[cell]
-                            .set(run_cell(cell))
-                            .unwrap_or_else(|_| unreachable!("cell claimed twice"));
+                        };
+                        place(&slots, *wi, cols);
                     });
                 }
             });
-            slots
-                .into_iter()
-                .map(|s| s.into_inner().expect("worker pool computed every cell"))
-                .collect()
-        };
+        }
+        let results: Vec<SimResult> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every cell computed"))
+            .collect();
 
         // Serial assembly: normalization against each row's baseline is
         // independent of how the cells were scheduled.
@@ -335,6 +409,33 @@ mod tests {
         assert!(row.entries.iter().all(|e| e.energy >= best_e.energy));
         let best_s = row.best_speedup().unwrap();
         assert!(row.entries.iter().all(|e| e.speedup <= best_s.speedup));
+    }
+
+    #[test]
+    fn batched_and_per_technology_paths_are_bit_identical() {
+        let ws: Vec<_> = ["tonto", "leela"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        let batched = small_evaluator().run_all(&ws);
+        let per_tech = small_evaluator().batched(false).run_all(&ws);
+        assert_eq!(batched, per_tech);
+    }
+
+    #[test]
+    fn batched_path_handles_mixed_group_sizes() {
+        // Fixed-area models differ in LLC capacity, so a workload's cells
+        // split into several groups — some batched, some singleton. The
+        // result must not depend on that split.
+        let models = reference::fixed_area();
+        let baseline = reference::by_name(&models, "SRAM").unwrap();
+        let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+        let make = || Evaluator::new(baseline.clone(), nvms.clone()).base_accesses(6_000);
+        let w = workloads::by_name("gobmk").unwrap();
+        assert_eq!(
+            make().run_workload(&w),
+            make().batched(false).run_workload(&w)
+        );
     }
 
     #[test]

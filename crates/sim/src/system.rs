@@ -54,7 +54,7 @@ use crate::config::{ArchConfig, LlcWritePolicy};
 use crate::dram::Dram;
 use crate::endurance::{EnduranceTracker, WearPolicy};
 use crate::result::{SimResult, SimStats};
-use crate::tape::{EventRecord, Outcome, OutcomeTape, SideEvents, TapeKey};
+use crate::tape::{DecodedEvent, EventRecord, Outcome, OutcomeTape, SideEvents, TapeKey};
 use crate::techniques::DeadBlockPredictor;
 
 /// Fraction of the LLC read-hit latency a load exposes to the critical
@@ -144,12 +144,17 @@ impl TimingEngine {
     }
 
     /// Applies one event's timing. `wear` and `dram_blocks` are cursors
-    /// over the event stream's side arrays; the record's flags determine
+    /// over the event stream's side arrays; the event's flags determine
     /// exactly how many entries each consumes, so a single running
     /// iterator serves a whole tape.
+    ///
+    /// Every path — the fused [`System::run`], the per-technology
+    /// [`System::replay`], and the batched [`System::replay_batch`] —
+    /// funnels through this one function, so their floating-point
+    /// operation sequences are literally identical.
     fn apply(
         &mut self,
-        rec: EventRecord,
+        rec: DecodedEvent,
         wear: &mut impl Iterator<Item = u64>,
         dram_blocks: &mut impl Iterator<Item = u64>,
         endurance: &mut Option<EnduranceTracker>,
@@ -385,7 +390,7 @@ impl System {
         let mut endurance = self.endurance_tracker();
         let stats = self.functional_walk(trace, |rec, sides| {
             engine.apply(
-                rec,
+                rec.decode(),
                 &mut sides.endurance().iter().copied(),
                 &mut sides.dram().iter().copied(),
                 &mut endurance,
@@ -422,12 +427,78 @@ impl System {
         );
         let mut engine = TimingEngine::new(&self.config);
         let mut endurance = self.endurance_tracker();
-        let mut wear = tape.endurance_blocks().iter().copied();
-        let mut dram_blocks = tape.dram_blocks().iter().copied();
+        let mut wear = tape.endurance_blocks();
+        let mut dram_blocks = tape.dram_blocks();
         for &rec in tape.records() {
-            engine.apply(rec, &mut wear, &mut dram_blocks, &mut endurance);
+            engine.apply(rec.decode(), &mut wear, &mut dram_blocks, &mut endurance);
         }
         self.finalize(tape.stats().clone(), engine, endurance)
+    }
+
+    /// Phase B for a whole technology group at once: decodes `tape` a
+    /// single time into its flat-array form
+    /// ([`DecodedTape`](crate::tape::DecodedTape)) and then
+    /// streams one timing engine per system over the shared decoded
+    /// event and side arrays, technology-major — each engine's pass is
+    /// a pure accumulation loop with all record unpacking and varint
+    /// decoding already hoisted out.
+    ///
+    /// Results are bit-identical to calling [`System::replay`] once per
+    /// system: both paths funnel every event through the same
+    /// `TimingEngine::apply` in the same order with the same side-stream
+    /// values — only the per-technology record unpacking and varint
+    /// decoding are hoisted out. The systems may differ in any
+    /// timing-only knob (technology model, write policy, MSHRs, DRAM
+    /// backend, write mode, endurance tracking) but must share the
+    /// tape's functional geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any system's core count differs from the tape's.
+    pub fn replay_batch(systems: &[&System], tape: &OutcomeTape) -> Vec<SimResult> {
+        for system in systems {
+            assert_eq!(
+                tape.cores(),
+                system.config.cores,
+                "outcome tape recorded for a different core count"
+            );
+        }
+        let decoded = tape.decoded();
+        let mut bank: Vec<(TimingEngine, Option<EnduranceTracker>)> = systems
+            .iter()
+            .map(|s| (TimingEngine::new(&s.config), s.endurance_tracker()))
+            .collect();
+        // Lockstep, event-major: advancing every engine on the same event
+        // before moving on keeps the decoded lanes and side slices in L1
+        // and lets the engines' independent accumulation chains overlap,
+        // which is where the batched speedup comes from — engine-major
+        // would serialize each engine's dependency chain over the whole
+        // tape. One pair of running cursors replays the side streams for
+        // all engines, since every engine consumes identical entries.
+        let (mut wear_pos, mut dram_pos) = (0usize, 0usize);
+        let (wear_blocks, dram_blocks) = (decoded.wear_blocks(), decoded.dram_blocks());
+        for &ev in decoded.events() {
+            let (wear_n, dram_n) = ev.side_counts();
+            let wear = &wear_blocks[wear_pos..wear_pos + wear_n as usize];
+            let dram = &dram_blocks[dram_pos..dram_pos + dram_n as usize];
+            wear_pos += wear_n as usize;
+            dram_pos += dram_n as usize;
+            for (engine, tracker) in bank.iter_mut() {
+                engine.apply(
+                    ev,
+                    &mut wear.iter().copied(),
+                    &mut dram.iter().copied(),
+                    tracker,
+                );
+            }
+        }
+        systems
+            .iter()
+            .zip(bank)
+            .map(|(system, (engine, tracker))| {
+                system.finalize(decoded.stats().clone(), engine, tracker)
+            })
+            .collect()
     }
 
     /// [`System::run`] through the process-wide tape cache: fetches (or
@@ -1257,6 +1328,63 @@ mod tests {
         let _ = System::new(ArchConfig::gainestown(llc).with_cores(2)).replay(&tape);
     }
 
+    #[test]
+    fn replay_batch_matches_replay_across_policies_and_trackers() {
+        let models = reference::fixed_capacity();
+        let trace = workloads::by_name("mg").unwrap().generate(42, 20_000);
+        let recorder =
+            System::new(ArchConfig::gainestown(reference::sram_baseline())).with_warmup(0.25);
+        let tape = recorder.record(&trace);
+        // A deliberately heterogeneous batch: every write policy, a
+        // detailed-DRAM + MSHR cell, and an endurance-tracked cell.
+        let systems = [
+            recorder,
+            System::new(
+                ArchConfig::gainestown(reference::by_name(&models, "Jan").unwrap())
+                    .with_llc_write_policy(LlcWritePolicy::PortContention),
+            )
+            .with_warmup(0.25),
+            System::new(
+                ArchConfig::gainestown(reference::by_name(&models, "Kang").unwrap())
+                    .with_llc_write_policy(LlcWritePolicy::Blocking)
+                    .with_detailed_dram()
+                    .with_mshrs(8)
+                    .with_differential_writes(0.4),
+            )
+            .with_warmup(0.25),
+            System::new(ArchConfig::gainestown(
+                reference::by_name(&models, "Zhang").unwrap(),
+            ))
+            .with_warmup(0.25)
+            .with_endurance_tracking(WearPolicy::RotateXor { period: 1_000 }),
+        ];
+        let refs: Vec<&System> = systems.iter().collect();
+        let batched = System::replay_batch(&refs, &tape);
+        assert_eq!(batched.len(), systems.len());
+        for (system, batched) in systems.iter().zip(&batched) {
+            assert_eq!(batched, &system.replay(&tape));
+        }
+    }
+
+    #[test]
+    fn replay_batch_of_nothing_is_nothing() {
+        let llc = reference::sram_baseline();
+        let trace = workloads::by_name("tonto").unwrap().generate(42, 1_000);
+        let tape = System::new(ArchConfig::gainestown(llc)).record(&trace);
+        assert!(System::replay_batch(&[], &tape).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different core count")]
+    fn replay_batch_rejects_core_count_mismatch() {
+        let llc = reference::sram_baseline();
+        let trace = workloads::by_name("tonto").unwrap().generate(42, 1_000);
+        let tape = System::new(ArchConfig::gainestown(llc.clone())).record(&trace);
+        let ok = System::new(ArchConfig::gainestown(llc.clone()));
+        let bad = System::new(ArchConfig::gainestown(llc).with_cores(2));
+        let _ = System::replay_batch(&[&ok, &bad], &tape);
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
 
@@ -1326,6 +1454,82 @@ mod tests {
             }
             let tape = system.record(&trace);
             proptest::prop_assert_eq!(system.replay(&tape), system.run(&trace));
+        }
+
+        /// The batched engine's invariant, fuzzed: for random traces,
+        /// geometries, shared functional knobs, and an arbitrary subset
+        /// of technologies whose timing knobs (write policy, MSHRs,
+        /// detailed DRAM, differential writes, endurance tracking) all
+        /// differ per member, one lockstep pass over the decoded tape is
+        /// bit-identical to replaying each technology on its own.
+        #[test]
+        fn replay_batch_equals_per_technology_replay(
+            seed in 0u64..1000,
+            n in 200usize..2000,
+            rf in 0.2f64..0.95,
+            fp_log2 in 8u32..16,
+            threads in 1u8..5,
+            cores in 1u32..5,
+            warmup_idx in 0usize..4,
+            subset in 1u32..2048,
+            flags in 0u32..8,
+        ) {
+            use nvm_llc_trace::{Suite, WorkloadProfile};
+            let w = WorkloadProfile::builder("prop", Suite::Npb)
+                .footprint_blocks(1 << fp_log2)
+                .read_fraction(rf)
+                .threads(threads)
+                .build();
+            let trace = w.generate(seed, n);
+            let models = reference::fixed_capacity();
+            let warmup = [0.0, 0.1, 0.25, 0.5][warmup_idx];
+            // Functional knobs are shared across the batch (they shape
+            // the tape itself); timing knobs vary per member.
+            let (inclusive, prefetch, bypass) =
+                (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+            let mut systems = Vec::new();
+            for (i, model) in models.iter().enumerate() {
+                if subset & (1 << i) == 0 {
+                    continue;
+                }
+                let mut config = ArchConfig::gainestown(model.clone())
+                    .with_cores(cores)
+                    .with_llc_write_policy(match i % 3 {
+                        0 => LlcWritePolicy::OffCriticalPath,
+                        1 => LlcWritePolicy::PortContention,
+                        _ => LlcWritePolicy::Blocking,
+                    });
+                if inclusive {
+                    config = config.with_inclusive_llc();
+                }
+                if prefetch {
+                    config = config.with_l2_prefetch();
+                }
+                if bypass {
+                    config = config.with_llc_bypass();
+                }
+                if i % 2 == 0 {
+                    config = config.with_detailed_dram();
+                }
+                if i % 4 != 0 {
+                    config = config.with_mshrs(2 + (i as u32 * 3) % 14);
+                }
+                if i % 5 == 0 {
+                    config = config.with_differential_writes(0.2 + 0.15 * (i % 4) as f64);
+                }
+                let mut system = System::new(config).with_warmup(warmup);
+                if i % 3 == 1 {
+                    system = system.with_endurance_tracking(WearPolicy::RotateXor { period: 500 });
+                }
+                systems.push(system);
+            }
+            let tape = systems[0].record(&trace);
+            let refs: Vec<&System> = systems.iter().collect();
+            let batched = System::replay_batch(&refs, &tape);
+            proptest::prop_assert_eq!(batched.len(), systems.len());
+            for (system, batched) in systems.iter().zip(&batched) {
+                proptest::prop_assert_eq!(batched, &system.replay(&tape));
+            }
         }
     }
 }

@@ -23,7 +23,17 @@
 //! [`cache`] memoizes tapes process-wide (exactly-once generation behind
 //! `Arc<OnceLock>`, the same discipline as `nvm_llc_trace::cache`), so an
 //! evaluation matrix performs one functional pass per distinct geometry
-//! and replays everything else.
+//! and replays everything else. The cache is bounded by a byte budget
+//! with LRU eviction (default 256 MiB, [`cache::BUDGET_ENV`] override).
+//!
+//! For the matrix itself even the per-technology replays are redundant:
+//! eleven technologies decode the same packed records and the same
+//! varint-compressed side arrays eleven times. [`DecodedTape`] decodes a
+//! tape **once** into a cache-friendly struct-of-arrays form (gap /
+//! core / flag lanes plus prefix-summed side-stream cursors), and
+//! [`System::replay_batch`](crate::system::System::replay_batch) drives
+//! every technology's timing engine in lockstep over that single decoded
+//! stream.
 
 use crate::cache::Replacement;
 use crate::result::SimStats;
@@ -162,6 +172,115 @@ impl EventRecord {
     pub fn llc_filled(self) -> bool {
         self.0 & Self::LLC_FILLED != 0
     }
+
+    /// Unpacks the record into its flat-field form — the unit the timing
+    /// engine consumes. Bits 40–47 of the packed word are exactly the
+    /// eight flag bits of [`DecodedEvent`], in the same order.
+    pub fn decode(self) -> DecodedEvent {
+        DecodedEvent {
+            gap: self.0 as u32,
+            core: (self.0 >> Self::CORE_SHIFT) as u8,
+            flags: (self.0 >> 40) as u8,
+        }
+    }
+}
+
+/// One event in flat-field form: what a [`EventRecord`] packs, decoded.
+///
+/// `TimingEngine::apply` consumes these, so the fused run, the
+/// per-technology replay, and the batched replay all feed the timing
+/// engine the identical representation — the batched path just decodes
+/// each record once instead of once per technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedEvent {
+    pub(crate) gap: u32,
+    pub(crate) core: u8,
+    /// Bit 0 is-write, bits 1–2 outcome class, bits 3–7 the side-event
+    /// flags in [`EventRecord`] order.
+    pub(crate) flags: u8,
+}
+
+impl DecodedEvent {
+    const IS_WRITE: u8 = 1;
+    const CLASS_SHIFT: u32 = 1;
+    const L1_WB_LLC_WRITE: u8 = 1 << 3;
+    const L2_WB_LLC_WRITE: u8 = 1 << 4;
+    const PF_EVICT_LLC_WRITE: u8 = 1 << 5;
+    const PF_LLC_FILL: u8 = 1 << 6;
+    const LLC_FILLED: u8 = 1 << 7;
+
+    /// Non-memory instructions preceding the access.
+    pub fn gap_instructions(self) -> u32 {
+        self.gap
+    }
+
+    /// Core (0-based) the event ran on.
+    pub fn core(self) -> usize {
+        usize::from(self.core)
+    }
+
+    /// Whether the access was a store.
+    pub fn is_write(self) -> bool {
+        self.flags & Self::IS_WRITE != 0
+    }
+
+    /// The serving level.
+    pub fn outcome(self) -> Outcome {
+        Outcome::from_bits(u64::from(self.flags >> Self::CLASS_SHIFT))
+    }
+
+    /// LLC write from the L1 victim cascade?
+    pub fn l1_writeback_llc_write(self) -> bool {
+        self.flags & Self::L1_WB_LLC_WRITE != 0
+    }
+
+    /// LLC write from the L2 dirty victim?
+    pub fn l2_writeback_llc_write(self) -> bool {
+        self.flags & Self::L2_WB_LLC_WRITE != 0
+    }
+
+    /// LLC write from the prefetch fill's dirty L2 victim?
+    pub fn prefetch_evict_llc_write(self) -> bool {
+        self.flags & Self::PF_EVICT_LLC_WRITE != 0
+    }
+
+    /// Prefetch allocated in the LLC?
+    pub fn prefetch_llc_fill(self) -> bool {
+        self.flags & Self::PF_LLC_FILL != 0
+    }
+
+    /// Demand miss allocated its block?
+    pub fn llc_filled(self) -> bool {
+        self.flags & Self::LLC_FILLED != 0
+    }
+
+    /// How many entries this event consumes from the endurance and DRAM
+    /// side streams during replay. Mirrors `TimingEngine::apply`'s
+    /// early-out structure; the batched replay walks its running side
+    /// cursors with it, and [`DecodedTape::decode`] uses it to validate
+    /// that the flat side arrays partition exactly across the events.
+    pub(crate) fn side_counts(self) -> (u32, u32) {
+        let outcome = self.outcome();
+        if outcome == Outcome::L1Hit {
+            return (0, 0);
+        }
+        let mut wear = u32::from(self.l1_writeback_llc_write());
+        if outcome == Outcome::L2Hit {
+            return (wear, 0);
+        }
+        wear += u32::from(self.l2_writeback_llc_write());
+        wear += u32::from(self.prefetch_evict_llc_write());
+        let mut dram = 0;
+        if self.prefetch_llc_fill() {
+            wear += 1;
+            dram += 1;
+        }
+        if outcome == Outcome::LlcHit {
+            return (wear, dram);
+        }
+        wear += u32::from(self.llc_filled());
+        (wear, dram + 1)
+    }
 }
 
 /// Per-event side-event scratch: block addresses the event contributed to
@@ -203,41 +322,166 @@ impl SideEvents {
     }
 }
 
+/// A block-address stream stored as zigzag-deltas in LEB128 varints.
+///
+/// Both side streams are dominated by short hops inside a working set
+/// (writebacks and fills of nearby blocks), so the signed delta from the
+/// previous address usually fits one or two bytes instead of the eight a
+/// flat `u64` costs. Appending and sequential decoding are the only
+/// operations replay needs, and both are branch-light.
+#[derive(Debug, Clone, Default)]
+pub struct PackedBlocks {
+    bytes: Vec<u8>,
+    len: usize,
+    /// Encoder state: the previously pushed address.
+    last: u64,
+}
+
+impl PackedBlocks {
+    pub(crate) fn push(&mut self, block: u64) {
+        let delta = block.wrapping_sub(self.last) as i64;
+        self.last = block;
+        let mut zigzag = ((delta << 1) ^ (delta >> 63)) as u64;
+        loop {
+            let byte = (zigzag & 0x7F) as u8;
+            zigzag >>= 7;
+            if zigzag == 0 {
+                self.bytes.push(byte);
+                break;
+            }
+            self.bytes.push(byte | 0x80);
+        }
+        self.len += 1;
+    }
+
+    /// Number of encoded addresses.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sequential decoder over the stream.
+    pub fn iter(&self) -> BlockIter<'_> {
+        BlockIter {
+            bytes: &self.bytes,
+            pos: 0,
+            prev: 0,
+            remaining: self.len,
+        }
+    }
+
+    /// Heap bytes held by the encoded form.
+    fn encoded_bytes(&self) -> usize {
+        self.bytes.capacity()
+    }
+
+    /// Bytes a flat `Vec<u64>` of the same stream would hold.
+    fn raw_bytes(&self) -> usize {
+        self.len * std::mem::size_of::<u64>()
+    }
+}
+
+/// Decoding iterator over a [`PackedBlocks`] stream.
+#[derive(Debug, Clone)]
+pub struct BlockIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    prev: u64,
+    remaining: usize,
+}
+
+impl Iterator for BlockIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut zigzag = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.bytes[self.pos];
+            self.pos += 1;
+            zigzag |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        let delta = ((zigzag >> 1) as i64) ^ -((zigzag & 1) as i64);
+        self.prev = self.prev.wrapping_add(delta as u64);
+        Some(self.prev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BlockIter<'_> {}
+
 /// The recorded functional outcome of one `(trace, geometry)` pair —
 /// everything Phase B (timing/energy replay) needs, and nothing else.
 #[derive(Debug, Clone, Default)]
 pub struct OutcomeTape {
     /// One packed record per post-warmup trace event, in trace order.
     records: Vec<EventRecord>,
-    /// LLC array-write block addresses (endurance stream), in order.
-    endurance_blocks: Vec<u64>,
-    /// DRAM access block addresses (detailed-DRAM stream), in order.
-    dram_blocks: Vec<u64>,
+    /// LLC array-write block addresses (endurance stream), in order,
+    /// varint/delta-compacted.
+    endurance_blocks: PackedBlocks,
+    /// DRAM access block addresses (detailed-DRAM stream), in order,
+    /// varint/delta-compacted.
+    dram_blocks: PackedBlocks,
     /// Functional counters (the timing-side fields stay zero).
     stats: SimStats,
     /// Core count the tape was recorded for (replay must match).
     cores: u32,
+    /// Memoized flat decode, built on first batched replay and shared by
+    /// every later one of the same (cached) tape. Lives and dies with
+    /// the tape, so cache eviction frees both forms together.
+    decoded: std::sync::OnceLock<DecodedTape>,
 }
 
 impl OutcomeTape {
     pub(crate) fn with_capacity(events: usize, cores: u32) -> OutcomeTape {
         OutcomeTape {
             records: Vec::with_capacity(events),
-            endurance_blocks: Vec::new(),
-            dram_blocks: Vec::new(),
+            endurance_blocks: PackedBlocks::default(),
+            dram_blocks: PackedBlocks::default(),
             stats: SimStats::default(),
             cores,
+            decoded: std::sync::OnceLock::new(),
         }
     }
 
     pub(crate) fn push(&mut self, record: EventRecord, sides: &SideEvents) {
+        debug_assert!(
+            self.decoded.get().is_none(),
+            "tapes are frozen once decoded"
+        );
         self.records.push(record);
-        self.endurance_blocks.extend_from_slice(sides.endurance());
-        self.dram_blocks.extend_from_slice(sides.dram());
+        for &block in sides.endurance() {
+            self.endurance_blocks.push(block);
+        }
+        for &block in sides.dram() {
+            self.dram_blocks.push(block);
+        }
     }
 
     pub(crate) fn set_stats(&mut self, stats: SimStats) {
         self.stats = stats;
+    }
+
+    /// The flat decode of this tape, built on first use ([`DecodedTape`])
+    /// and memoized: a warm batched matrix replays a cached tape many
+    /// times but unpacks it exactly once.
+    pub fn decoded(&self) -> &DecodedTape {
+        self.decoded.get_or_init(|| DecodedTape::decode(self))
     }
 
     /// Per-event records.
@@ -245,14 +489,16 @@ impl OutcomeTape {
         &self.records
     }
 
-    /// The endurance stream (LLC array writes, block addresses).
-    pub fn endurance_blocks(&self) -> &[u64] {
-        &self.endurance_blocks
+    /// The endurance stream (LLC array writes, block addresses), decoded
+    /// sequentially from its varint/delta form.
+    pub fn endurance_blocks(&self) -> BlockIter<'_> {
+        self.endurance_blocks.iter()
     }
 
-    /// The DRAM stream (block addresses, `Dram::access` call order).
-    pub fn dram_blocks(&self) -> &[u64] {
-        &self.dram_blocks
+    /// The DRAM stream (block addresses, `Dram::access` call order),
+    /// decoded sequentially from its varint/delta form.
+    pub fn dram_blocks(&self) -> BlockIter<'_> {
+        self.dram_blocks.iter()
     }
 
     /// The functional statistics of the recorded run (timing fields zero).
@@ -275,11 +521,108 @@ impl OutcomeTape {
         self.records.is_empty()
     }
 
-    /// Approximate heap footprint in bytes (capacity-based).
+    /// Approximate heap footprint in bytes (capacity-based), with the
+    /// side streams at their encoded size.
     pub fn bytes(&self) -> usize {
         self.records.capacity() * std::mem::size_of::<EventRecord>()
-            + (self.endurance_blocks.capacity() + self.dram_blocks.capacity())
-                * std::mem::size_of::<u64>()
+            + self.endurance_blocks.encoded_bytes()
+            + self.dram_blocks.encoded_bytes()
+    }
+
+    /// What the same tape would occupy with flat `u64` side arrays — the
+    /// pre-compaction footprint the cache stats report against.
+    pub fn raw_bytes(&self) -> usize {
+        self.records.len() * std::mem::size_of::<EventRecord>()
+            + self.endurance_blocks.raw_bytes()
+            + self.dram_blocks.raw_bytes()
+    }
+}
+
+/// Flat decode of an [`OutcomeTape`]: every record unpacked once into a
+/// dense [`DecodedEvent`] array, and the varint side streams decoded
+/// back to flat `u64` block arrays.
+///
+/// Built once per technology *group* by
+/// [`System::replay_batch`](crate::system::System::replay_batch): the
+/// record unpacking and varint decoding that a per-technology replay
+/// repeats for every configuration happen a single time, and each timing
+/// engine then streams the same pre-decoded arrays — event `i` consumes
+/// side entries in exactly the order `TimingEngine::apply` emits them,
+/// so a running iterator per engine replays the cursors for free.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedTape {
+    events: Vec<DecodedEvent>,
+    wear_blocks: Vec<u64>,
+    dram_blocks: Vec<u64>,
+    stats: SimStats,
+    cores: u32,
+}
+
+impl DecodedTape {
+    /// Decodes `tape` once into flat-array form.
+    pub fn decode(tape: &OutcomeTape) -> DecodedTape {
+        let decoded = DecodedTape {
+            events: tape.records().iter().map(|rec| rec.decode()).collect(),
+            wear_blocks: tape.endurance_blocks().collect(),
+            dram_blocks: tape.dram_blocks().collect(),
+            stats: tape.stats().clone(),
+            cores: tape.cores(),
+        };
+        // Every side entry is claimed by exactly one event: the per-event
+        // counts (mirroring `apply`'s early-outs) must sum to the stream
+        // lengths, or replay cursors would drift between technologies.
+        debug_assert_eq!(
+            decoded
+                .events
+                .iter()
+                .map(|ev| ev.side_counts().0 as usize)
+                .sum::<usize>(),
+            decoded.wear_blocks.len()
+        );
+        debug_assert_eq!(
+            decoded
+                .events
+                .iter()
+                .map(|ev| ev.side_counts().1 as usize)
+                .sum::<usize>(),
+            decoded.dram_blocks.len()
+        );
+        decoded
+    }
+
+    /// Post-warmup events on the tape.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the tape holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Core count the tape encodes.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// The functional statistics of the recorded run.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The decoded event stream.
+    pub(crate) fn events(&self) -> &[DecodedEvent] {
+        &self.events
+    }
+
+    /// The endurance side stream, flat.
+    pub(crate) fn wear_blocks(&self) -> &[u64] {
+        &self.wear_blocks
+    }
+
+    /// The DRAM side stream, flat.
+    pub(crate) fn dram_blocks(&self) -> &[u64] {
+        &self.dram_blocks
     }
 }
 
@@ -341,10 +684,17 @@ pub mod cache {
     //! Mirrors `nvm_llc_trace::cache`: concurrent fetches of one key race
     //! to install a slot, exactly one runs [`System::record`], the rest
     //! block on the slot's `OnceLock` and receive the same
-    //! `Arc<OutcomeTape>`. Entries live for the process (an evaluation's
-    //! working set is one tape per geometry; [`clear`] exists for cold-
-    //! cache benchmarking). [`stats`] exposes hit/miss/byte counters so
-    //! experiment binaries can log cache effectiveness.
+    //! `Arc<OutcomeTape>`. [`stats`] exposes hit/miss/byte/eviction
+    //! counters so experiment binaries can log cache effectiveness.
+    //!
+    //! Residency is bounded by a byte budget (default
+    //! [`DEFAULT_BUDGET_BYTES`], overridable via the [`BUDGET_ENV`]
+    //! environment variable or [`set_byte_budget`] — the
+    //! `Evaluator::tape_cache_bytes` builder routes through the latter).
+    //! When recorded tapes exceed the budget, least-recently-fetched
+    //! entries are evicted; in-flight `Arc`s stay alive until their
+    //! holders drop them, and a re-fetch of an evicted key simply records
+    //! again.
 
     use std::collections::HashMap;
     use std::fmt;
@@ -358,14 +708,54 @@ pub mod cache {
 
     type Slot = Arc<OnceLock<Arc<OutcomeTape>>>;
 
-    fn map() -> &'static Mutex<HashMap<TapeKey, Slot>> {
-        static MAP: OnceLock<Mutex<HashMap<TapeKey, Slot>>> = OnceLock::new();
-        MAP.get_or_init(|| Mutex::new(HashMap::new()))
+    /// Default residency budget: ~256 MiB of encoded tape.
+    pub const DEFAULT_BUDGET_BYTES: u64 = 256 << 20;
+
+    /// Environment variable overriding the budget, in MiB (`0` lifts the
+    /// bound entirely). Read once, at the cache's first use; later
+    /// changes go through [`set_byte_budget`].
+    pub const BUDGET_ENV: &str = "NVM_LLC_TAPE_CACHE_MB";
+
+    struct Entry {
+        slot: Slot,
+        /// Encoded size, filled in once the tape is recorded (`0` while
+        /// the functional pass is still in flight — such entries are
+        /// never evicted).
+        bytes: u64,
+        /// Lamport-style recency stamp from `Inner::clock`.
+        last_used: u64,
+    }
+
+    struct Inner {
+        map: HashMap<TapeKey, Entry>,
+        clock: u64,
+        /// Total encoded bytes of resident, fully recorded tapes.
+        resident: u64,
+        budget: u64,
+    }
+
+    fn inner() -> &'static Mutex<Inner> {
+        static INNER: OnceLock<Mutex<Inner>> = OnceLock::new();
+        INNER.get_or_init(|| {
+            let budget = std::env::var(BUDGET_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(|mib| if mib == 0 { u64::MAX } else { mib << 20 })
+                .unwrap_or(DEFAULT_BUDGET_BYTES);
+            Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                resident: 0,
+                budget,
+            })
+        })
     }
 
     static HITS: AtomicU64 = AtomicU64::new(0);
     static MISSES: AtomicU64 = AtomicU64::new(0);
     static BYTES: AtomicU64 = AtomicU64::new(0);
+    static RAW_BYTES: AtomicU64 = AtomicU64::new(0);
+    static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
     /// Counters describing the cache's effectiveness so far.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -374,26 +764,37 @@ pub mod cache {
         pub hits: u64,
         /// Fetches that had to record a new tape (one functional pass
         /// each — in an evaluation matrix this equals the number of
-        /// distinct geometries × traces).
+        /// distinct geometries × traces, plus re-records of evicted
+        /// keys).
         pub misses: u64,
-        /// Total bytes of tape recorded.
+        /// Total encoded bytes of tape recorded (varint/delta form).
         pub bytes: u64,
+        /// What the same tapes would have occupied with flat `u64` side
+        /// arrays — `bytes / raw_bytes` is the compaction ratio.
+        pub raw_bytes: u64,
+        /// Entries evicted to stay under the byte budget.
+        pub evictions: u64,
+        /// Encoded bytes currently resident.
+        pub resident_bytes: u64,
     }
 
     impl fmt::Display for CacheStats {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(
                 f,
-                "{} hits / {} functional passes, {:.1} MiB taped",
+                "{} hits / {} functional passes, {:.1} MiB taped \
+                 ({:.1} MiB raw, {} evictions)",
                 self.hits,
                 self.misses,
-                self.bytes as f64 / (1024.0 * 1024.0)
+                self.bytes as f64 / (1024.0 * 1024.0),
+                self.raw_bytes as f64 / (1024.0 * 1024.0),
+                self.evictions,
             )
         }
     }
 
-    /// Fetches (recording at most once per process) the outcome tape for
-    /// running `system` over `trace`.
+    /// Fetches (recording exactly once while the key stays resident) the
+    /// outcome tape for running `system` over `trace`.
     ///
     /// Keyed by [`System::tape_key`]; every technology whose
     /// configuration shares the functional geometry receives a pointer-
@@ -401,12 +802,24 @@ pub mod cache {
     pub fn fetch(system: &System, trace: &Arc<Trace>) -> Arc<OutcomeTape> {
         let key = system.tape_key(trace);
         let (slot, fresh) = {
-            let mut map = map().lock().expect("tape cache lock");
-            match map.get(&key) {
-                Some(slot) => (Arc::clone(slot), false),
+            let mut inner = inner().lock().expect("tape cache lock");
+            inner.clock += 1;
+            let now = inner.clock;
+            match inner.map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = now;
+                    (Arc::clone(&entry.slot), false)
+                }
                 None => {
                     let slot: Slot = Arc::new(OnceLock::new());
-                    map.insert(key, Arc::clone(&slot));
+                    inner.map.insert(
+                        key.clone(),
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            bytes: 0,
+                            last_used: now,
+                        },
+                    );
                     (slot, true)
                 }
             }
@@ -419,30 +832,84 @@ pub mod cache {
         } else {
             HITS.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(slot.get_or_init(|| {
+        let tape = Arc::clone(slot.get_or_init(|| {
             let tape = Arc::new(system.record(trace));
             BYTES.fetch_add(tape.bytes() as u64, Ordering::Relaxed);
+            RAW_BYTES.fetch_add(tape.raw_bytes() as u64, Ordering::Relaxed);
             tape
-        }))
+        }));
+        if fresh {
+            // Charge the recorded size to the residency account and shed
+            // least-recently-used entries over budget. The key just
+            // fetched is exempt: a budget smaller than one tape must not
+            // turn every fetch into a record.
+            let mut guard = inner().lock().expect("tape cache lock");
+            let inner = &mut *guard;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                if entry.bytes == 0 {
+                    entry.bytes = tape.bytes() as u64;
+                    inner.resident += entry.bytes;
+                }
+            }
+            evict_over_budget(inner, Some(&key));
+        }
+        tape
+    }
+
+    /// Removes least-recently-used recorded entries until residency fits
+    /// the budget. Entries mid-recording (`bytes == 0`) and the `keep`
+    /// key are never shed.
+    fn evict_over_budget(inner: &mut Inner, keep: Option<&TapeKey>) {
+        while inner.resident > inner.budget {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, e)| e.bytes > 0 && Some(*k) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            let entry = inner.map.remove(&key).expect("victim key resident");
+            inner.resident -= entry.bytes;
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the residency budget in bytes (process-wide) and immediately
+    /// sheds LRU entries down to it. `u64::MAX` lifts the bound.
+    pub fn set_byte_budget(bytes: u64) {
+        let mut inner = inner().lock().expect("tape cache lock");
+        inner.budget = bytes;
+        evict_over_budget(&mut inner, None);
+    }
+
+    /// The current residency budget in bytes.
+    pub fn byte_budget() -> u64 {
+        inner().lock().expect("tape cache lock").budget
     }
 
     /// Drops every cached tape (cold-cache benchmarking; in-flight `Arc`s
     /// stay alive until their holders drop them). Counters keep running.
     pub fn clear() {
-        map().lock().expect("tape cache lock").clear();
+        let mut inner = inner().lock().expect("tape cache lock");
+        inner.map.clear();
+        inner.resident = 0;
     }
 
     /// Number of cached tape slots.
     pub fn len() -> usize {
-        map().lock().expect("tape cache lock").len()
+        inner().lock().expect("tape cache lock").map.len()
     }
 
     /// Snapshot of the process-wide cache counters.
     pub fn stats() -> CacheStats {
+        let resident_bytes = inner().lock().expect("tape cache lock").resident;
         CacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
             bytes: BYTES.load(Ordering::Relaxed),
+            raw_bytes: RAW_BYTES.load(Ordering::Relaxed),
+            evictions: EVICTIONS.load(Ordering::Relaxed),
+            resident_bytes,
         }
     }
 }
@@ -520,10 +987,109 @@ mod tests {
         tape.push(EventRecord::new(1, 5, true), &s);
         assert_eq!(tape.len(), 2);
         assert!(!tape.is_empty());
-        assert_eq!(tape.endurance_blocks(), &[1]);
-        assert_eq!(tape.dram_blocks(), &[2]);
+        assert_eq!(tape.endurance_blocks().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(tape.dram_blocks().collect::<Vec<_>>(), vec![2]);
         assert_eq!(tape.cores(), 4);
-        assert!(tape.bytes() >= 2 * 8 + 2 * 8);
+        assert!(tape.bytes() >= 2 * 8);
+        assert_eq!(tape.raw_bytes(), 2 * 8 + 2 * 8);
+    }
+
+    #[test]
+    fn decode_round_trips_every_record_field() {
+        let records = [
+            EventRecord::new(0, 7, false),
+            EventRecord::new(3, 0xDEAD_BEEF, true)
+                .with_outcome(Outcome::LlcMiss)
+                .with_l1_writeback_llc_write()
+                .with_l2_writeback_llc_write()
+                .with_prefetch_evict_llc_write()
+                .with_prefetch_llc_fill()
+                .with_llc_filled(),
+            EventRecord::new(255, u32::MAX, true).with_outcome(Outcome::L2Hit),
+        ];
+        for r in records {
+            let ev = r.decode();
+            assert_eq!(ev.gap_instructions(), r.gap_instructions());
+            assert_eq!(ev.core(), r.core());
+            assert_eq!(ev.is_write(), r.is_write());
+            assert_eq!(ev.outcome(), r.outcome());
+            assert_eq!(ev.l1_writeback_llc_write(), r.l1_writeback_llc_write());
+            assert_eq!(ev.l2_writeback_llc_write(), r.l2_writeback_llc_write());
+            assert_eq!(ev.prefetch_evict_llc_write(), r.prefetch_evict_llc_write());
+            assert_eq!(ev.prefetch_llc_fill(), r.prefetch_llc_fill());
+            assert_eq!(ev.llc_filled(), r.llc_filled());
+        }
+    }
+
+    #[test]
+    fn packed_blocks_round_trip_adversarial_sequences() {
+        let sequences: [&[u64]; 5] = [
+            &[],
+            &[0],
+            &[u64::MAX, 0, u64::MAX, 1, u64::MAX - 1],
+            &[7, 7, 7, 7],
+            &[1 << 63, (1 << 63) - 1, 42, 0, u64::MAX],
+        ];
+        for seq in sequences {
+            let mut packed = PackedBlocks::default();
+            for &b in seq {
+                packed.push(b);
+            }
+            assert_eq!(packed.len(), seq.len());
+            assert_eq!(packed.iter().collect::<Vec<_>>(), seq);
+            assert_eq!(packed.iter().len(), seq.len());
+        }
+    }
+
+    #[test]
+    fn packed_blocks_compact_local_streams() {
+        // Block addresses hopping inside a working set: deltas fit one or
+        // two varint bytes instead of eight.
+        let mut packed = PackedBlocks::default();
+        for i in 0..10_000u64 {
+            packed.push((1 << 30) | ((i * 37) % 4096));
+        }
+        assert!(packed.bytes.len() * 3 < packed.raw_bytes());
+        assert_eq!(packed.iter().count(), 10_000);
+    }
+
+    #[test]
+    fn decoded_tape_mirrors_records_and_side_streams() {
+        let mut tape = OutcomeTape::with_capacity(3, 2);
+        let mut s = SideEvents::default();
+        // L1 hit: no sides.
+        tape.push(EventRecord::new(0, 3, false), &s);
+        // L2 hit with an L1-writeback LLC write: one endurance entry.
+        s.push_endurance(10);
+        tape.push(
+            EventRecord::new(1, 0, true)
+                .with_outcome(Outcome::L2Hit)
+                .with_l1_writeback_llc_write(),
+            &s,
+        );
+        // Filled LLC miss: one endurance entry, one DRAM entry.
+        s.clear();
+        s.push_endurance(99);
+        s.push_dram(99);
+        tape.push(
+            EventRecord::new(0, 5, false)
+                .with_outcome(Outcome::LlcMiss)
+                .with_llc_filled(),
+            &s,
+        );
+
+        let decoded = DecodedTape::decode(&tape);
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded.cores(), 2);
+        for (&rec, &ev) in tape.records().iter().zip(decoded.events()) {
+            assert_eq!(ev, rec.decode());
+        }
+        // The flat side arrays carry the streams in emission order, and
+        // the per-event counts partition them: (0, 0) + (1, 0) + (1, 1).
+        assert_eq!(decoded.wear_blocks(), &[10, 99]);
+        assert_eq!(decoded.dram_blocks(), &[99]);
+        let counts: Vec<_> = decoded.events().iter().map(|ev| ev.side_counts()).collect();
+        assert_eq!(counts, vec![(0, 0), (1, 0), (1, 1)]);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Parallel evaluation engine, end to end: the scoped worker pool must be
 //! bit-identical to the serial path, the process-wide trace cache must
 //! hand every same-key consumer the same `Arc<Trace>`, and the
-//! tape-replay path (`System::run_cached` behind `run_all`) must agree
-//! exactly with direct `System::run` at every worker count.
+//! tape-replay paths behind `run_all` — batched lockstep replay for
+//! shared-geometry groups, `System::run_cached` for singletons — must
+//! agree exactly with direct `System::run` at every worker count.
 
 use std::sync::Arc;
 
@@ -99,6 +100,31 @@ fn tape_replay_matrix_matches_direct_runs_at_every_worker_count() {
             };
             assert_eq!(&direct, from_matrix, "{} on {}", model.name, row.workload);
         }
+    }
+}
+
+/// The batched replay engine behind `run_all` (one decode driving all
+/// eleven timing engines in lockstep) is bit-identical to the
+/// per-technology reference path at every worker count — and both are
+/// worker-count invariant themselves.
+#[test]
+fn batched_and_per_technology_matrices_agree_at_every_worker_count() {
+    let ws: Vec<_> = ["leela", "cg"]
+        .iter()
+        .map(|n| workloads::by_name(n).unwrap())
+        .collect();
+    let reference_rows = evaluator().threads(1).batched(false).run_all(&ws);
+    for threads in [1, 2, 4, 8] {
+        assert_eq!(
+            evaluator().threads(threads).run_all(&ws),
+            reference_rows,
+            "batched path with {threads} workers"
+        );
+        assert_eq!(
+            evaluator().threads(threads).batched(false).run_all(&ws),
+            reference_rows,
+            "per-technology path with {threads} workers"
+        );
     }
 }
 
