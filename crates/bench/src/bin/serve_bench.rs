@@ -1,0 +1,132 @@
+//! Loopback load measurements for the `nvm-llcd` evaluation service,
+//! dumped to `BENCH_serve.json` at the repository root.
+//!
+//! The generator runs the daemon in-process on an ephemeral loopback
+//! port and measures the three request regimes a deployment sees:
+//!
+//! * **cold** — first-ever `/row` for a workload: trace generation, one
+//!   functional pass, eleven timing replays, store write-back;
+//! * **warm (memory)** — the same daemon again: the coalescing map has
+//!   moved on, but every cell hits the in-memory result slots rebuilt
+//!   from the tape/result tiers;
+//! * **warm (store)** — a restarted daemon on the same `--store-dir`:
+//!   every cell is a disk hit, no simulation at all.
+//!
+//! A closing burst phase drives 16 concurrent clients over the warm
+//! workloads and reports aggregate requests/sec, plus the daemon's own
+//! `/statsz` counters.
+//!
+//! Acceptance bars: every response is 200, and the warm-store mean must
+//! beat the cold mean (persistence must pay for itself).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use nvm_llc::serve::{http, ServeConfig, Server};
+
+const BASE_ACCESSES: usize = 20_000;
+const WORKLOADS: [&str; 4] = ["tonto", "x264", "milc", "leela"];
+const BURST_CLIENTS: usize = 16;
+const BURST_ROUNDS: usize = 8;
+
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn timed_get(addr: std::net::SocketAddr, target: &str) -> f64 {
+    let start = Instant::now();
+    let (status, body) = http::get(addr, target).expect("loopback request");
+    assert_eq!(status, 200, "{target}: {body}");
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn row_target(workload: &str) -> String {
+    format!("/row?workload={workload}&accesses={BASE_ACCESSES}")
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("nvm-llcd-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: BURST_CLIENTS,
+        max_evals: 4,
+        base_accesses: BASE_ACCESSES,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Cold and warm-memory regimes on the first daemon.
+    let first = Server::start(config()).expect("start daemon");
+    let addr = first.addr();
+    let cold_ms: Vec<f64> = WORKLOADS
+        .iter()
+        .map(|w| timed_get(addr, &row_target(w)))
+        .collect();
+    let warm_memory_ms: Vec<f64> = WORKLOADS
+        .iter()
+        .map(|w| timed_get(addr, &row_target(w)))
+        .collect();
+    first.shutdown();
+
+    // Warm-store regime: a restarted daemon, same directory.
+    let second = Server::start(config()).expect("restart daemon");
+    let addr = second.addr();
+    let warm_store_ms: Vec<f64> = WORKLOADS
+        .iter()
+        .map(|w| timed_get(addr, &row_target(w)))
+        .collect();
+
+    // Burst: concurrent clients cycling over the warm workloads.
+    let barrier = Arc::new(Barrier::new(BURST_CLIENTS));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..BURST_CLIENTS {
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for round in 0..BURST_ROUNDS {
+                    let workload = WORKLOADS[(client + round) % WORKLOADS.len()];
+                    timed_get(addr, &row_target(workload));
+                }
+            });
+        }
+    });
+    let burst_s = start.elapsed().as_secs_f64();
+    let burst_requests = BURST_CLIENTS * BURST_ROUNDS;
+    let throughput = burst_requests as f64 / burst_s;
+
+    let (status, statsz) = http::get(addr, "/statsz").expect("statsz");
+    assert_eq!(status, 200);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = mean(&cold_ms);
+    let warm_memory = mean(&warm_memory_ms);
+    let warm_store = mean(&warm_store_ms);
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"config\": {{\n    \"workloads\": {},\n    \"base_accesses\": {},\n    \"workers\": {},\n    \"burst_clients\": {},\n    \"burst_requests\": {}\n  }},\n  \"row_latency_ms\": {{\n    \"cold\": {:.3},\n    \"warm_memory\": {:.3},\n    \"warm_store\": {:.3},\n    \"cold_over_warm_store\": {:.2}\n  }},\n  \"burst\": {{\n    \"requests_per_sec\": {:.1},\n    \"wall_s\": {:.3}\n  }},\n  \"statsz\": {}\n}}\n",
+        WORKLOADS.len(),
+        BASE_ACCESSES,
+        BURST_CLIENTS,
+        BURST_CLIENTS,
+        burst_requests,
+        cold,
+        warm_memory,
+        warm_store,
+        cold / warm_store,
+        throughput,
+        burst_s,
+        statsz.trim_end(),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+
+    assert!(
+        warm_store < cold,
+        "a restarted daemon must serve warm rows faster than cold ones \
+         (cold {cold:.1} ms, warm-store {warm_store:.1} ms)"
+    );
+}

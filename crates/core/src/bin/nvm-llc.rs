@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nvm-llc <artifact> [--scale smoke|default|full] [--threads N]
-//!         [--tape-cache-mb N]
+//!         [--tape-cache-mb N] [--store-dir PATH] [--stats]
 //!
 //! artifacts:
 //!   table2 | table3 | table4 | table5 | table6
@@ -11,6 +11,7 @@
 //!   cell <name>          print one technology's .cell model
 //!   characterize <bmk>   Table VI features for one workload
 //!   mrc <bmk>            reuse-distance miss-ratio curve
+//!   serve [options]      run the nvm-llcd evaluation service
 //! ```
 
 use std::process::ExitCode;
@@ -25,8 +26,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: nvm-llc <artifact> [--scale smoke|default|full] [--threads N]\n\
          \x20               [--tape-cache-mb N]   (0 lifts the tape-cache bound)\n\
+         \x20               [--store-dir PATH]    (persistent result store)\n\
+         \x20               [--stats]             (log cache counters on exit)\n\
          artifacts: table2 table3 table4 table5 table6 fig1 fig2 fig4 sweep\n\
-         \x20          lifetime selection dl all | cell <name> | characterize <bmk> | mrc <bmk>"
+         \x20          lifetime selection dl all | cell <name> | characterize <bmk> | mrc <bmk>\n\
+         \x20          serve [options]   (see `nvm-llc serve --help`)"
     );
     ExitCode::from(2)
 }
@@ -85,9 +89,28 @@ fn apply_tape_cache_budget(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `--store-dir PATH` opens (creating if needed) the persistent
+/// content-addressed result store at `PATH` and installs it process-
+/// wide: every evaluation reads finished results and outcome tapes
+/// through it and writes fresh ones back, so a re-run — even in a new
+/// process — skips completed work.
+fn apply_store_dir(args: &[String]) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--store-dir") else {
+        return Ok(());
+    };
+    let Some(path) = args.get(i + 1) else {
+        return Err("--store-dir needs a path".to_owned());
+    };
+    let store =
+        nvm_llc::store::Store::open(path).map_err(|e| format!("--store-dir {path}: {e}"))?;
+    nvm_llc::sim::persist::set_global_store(Some(std::sync::Arc::new(store)));
+    Ok(())
+}
+
 /// After an evaluation artifact finishes, say how well the two
 /// process-wide caches did: generated traces held, and the tape cache's
-/// functional-pass accounting.
+/// functional-pass accounting. Opt-in via `--stats`; the same counters
+/// are always live on the service's `/statsz` endpoint.
 fn log_cache_stats() {
     eprintln!(
         "caches: {} generated traces held, tape cache {}",
@@ -101,6 +124,30 @@ fn main() -> ExitCode {
     let Some(artifact) = args.first() else {
         return usage();
     };
+    if artifact == "serve" {
+        let rest = &args[1..];
+        if rest.iter().any(|a| a == "--help" || a == "-h") {
+            println!(
+                "usage: nvm-llc serve [options]\n\n{}",
+                nvm_llc::serve::USAGE
+            );
+            return ExitCode::SUCCESS;
+        }
+        let config = match nvm_llc::serve::ServeConfig::parse_args(rest) {
+            Ok(config) => config,
+            Err(message) => {
+                eprintln!("nvm-llc serve: {message}\n\n{}", nvm_llc::serve::USAGE);
+                return ExitCode::from(2);
+            }
+        };
+        return match nvm_llc::serve::run(config) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(error) => {
+                eprintln!("nvm-llc serve: {error}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let scale = match parse_scale(&args) {
         Ok(s) => s,
         Err(e) => {
@@ -116,13 +163,18 @@ fn main() -> ExitCode {
         eprintln!("{e}");
         return usage();
     }
+    if let Err(e) = apply_store_dir(&args) {
+        eprintln!("{e}");
+        return usage();
+    }
 
-    // Artifacts that drive the evaluation engine report cache
-    // effectiveness on exit; the static renderers have nothing to say.
-    let evaluates = !matches!(
-        artifact.as_str(),
-        "table2" | "table3" | "table4" | "cell" | "characterize" | "mrc"
-    );
+    // Cache-effectiveness logging is opt-in (`--stats`), and only
+    // artifacts that drive the evaluation engine have anything to say.
+    let evaluates = args.iter().any(|a| a == "--stats")
+        && !matches!(
+            artifact.as_str(),
+            "table2" | "table3" | "table4" | "cell" | "characterize" | "mrc"
+        );
 
     match artifact.as_str() {
         "table2" => println!("{}", table2::run().render()),

@@ -52,8 +52,12 @@ pub use nvm_llc_cell as cell;
 pub use nvm_llc_circuit as circuit;
 /// Re-export of the characterization crate.
 pub use nvm_llc_prism as prism;
+/// Re-export of the evaluation-service crate (`nvm-llc serve`).
+pub use nvm_llc_serve as serve;
 /// Re-export of the simulator crate.
 pub use nvm_llc_sim as sim;
+/// Re-export of the persistent result-store crate.
+pub use nvm_llc_store as store;
 /// Re-export of the trace/workload crate.
 pub use nvm_llc_trace as trace;
 

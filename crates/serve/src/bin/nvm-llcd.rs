@@ -1,0 +1,27 @@
+//! `nvm-llcd` — the evaluation daemon.
+//!
+//! Serves `/eval`, `/row`, `/healthz`, and `/statsz` until SIGTERM or
+//! SIGINT, then drains in-flight work and exits. See `--help`.
+
+use nvm_llc_serve::{run, ServeConfig, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "nvm-llcd: HTTP evaluation service over the workload x technology matrix\n\n{USAGE}"
+        );
+        return;
+    }
+    let config = match ServeConfig::parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("nvm-llcd: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(error) = run(config) {
+        eprintln!("nvm-llcd: {error}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal HTTP/1.1 plumbing for the evaluation service.
+//!
+//! Just enough of the protocol for `nvm-llcd`'s GET endpoints: a
+//! line-oriented request parser (request line + headers, no body) and a
+//! `Connection: close` response writer with an exact `Content-Length`.
+//! Query strings decode `%XX` escapes and `+` as space. Anything
+//! malformed parses to an error the server answers with `400`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Maximum accepted header section, bytes. Longer requests are
+/// malformed by decree — the service's real requests are tiny.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request: method, decoded path, decoded query parameters
+/// in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`).
+    pub method: String,
+    /// Path without the query string (`/eval`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (space). Invalid escapes pass through
+/// literally — the service's identifiers never contain `%` anyway.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                match std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                {
+                    Some(v) => {
+                        out.push(v);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses the head of one HTTP/1.1 request from `stream`. Headers are
+/// read and discarded (the service's endpoints are GET-only).
+pub fn read_request(stream: &mut impl Read) -> std::io::Result<Request> {
+    let malformed = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed request: {what}"),
+        )
+    };
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES as u64));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("empty request line"))?;
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed("not HTTP/1.x"));
+    }
+    // Drain headers up to the blank line; none influence routing.
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 {
+            return Err(malformed("truncated header section"));
+        }
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_raw
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method: method.to_uppercase(),
+        path: percent_decode(path),
+        query,
+    })
+}
+
+/// Writes one complete `Connection: close` response.
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Writes one minimal `GET` request for `target`.
+pub fn write_get(stream: &mut impl Write, target: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// One blocking loopback GET: connect, request, read to EOF. Returns
+/// `(status, body)`. The client half used by tests and the serve
+/// benchmark's load generator.
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    write_get(&mut stream, target)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let malformed = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(malformed)?;
+    let body = raw
+        .split("\r\n\r\n")
+        .nth(1)
+        .ok_or_else(malformed)?
+        .to_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> std::io::Result<Request> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_path_query_and_method() {
+        let r = parse("GET /eval?workload=tonto&tech=Jan_S HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/eval");
+        assert_eq!(r.param("workload"), Some("tonto"));
+        assert_eq!(r.param("tech"), Some("Jan_S"));
+        assert_eq!(r.param("absent"), None);
+    }
+
+    #[test]
+    fn decodes_percent_escapes_and_plus() {
+        let r = parse("GET /x?a=b%20c&d=e+f&bad=%zz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.param("a"), Some("b c"));
+        assert_eq!(r.param("d"), Some("e f"));
+        assert_eq!(r.param("bad"), Some("%zz"), "invalid escape passes through");
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        assert!(parse("\r\n\r\n").is_err());
+        assert!(parse("GET /x\r\n\r\n").is_err(), "missing version");
+        assert!(parse("GET /x SMTP/1.0\r\n\r\n").is_err(), "wrong protocol");
+        assert!(
+            parse("GET /x HTTP/1.1\r\nHost: y\r\n").is_err(),
+            "no blank line"
+        );
+    }
+
+    #[test]
+    fn response_carries_exact_content_length() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "application/json", "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        respond(&mut out, 429, "text/plain", "busy").unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("429 Too Many Requests"));
+    }
+}

@@ -1,0 +1,160 @@
+//! JSON rendering of evaluation results, **bit-exact by construction**.
+//!
+//! Floats render with `{:?}` — Rust's shortest-round-trip formatting —
+//! so parsing a rendered number yields the identical `f64` bit pattern.
+//! That makes these renderers the service's canonical wire form: a
+//! response body compares byte-for-byte against the same result
+//! rendered locally, which is how the integration tests pin the
+//! server's answers to `Evaluator::run_all`'s.
+
+use nvm_llc_sim::{EnduranceReport, MatrixEntry, MatrixRow, SimResult, SimStats};
+
+/// Shortest-round-trip float rendering (`1.0`, not `1`): injective on
+/// finite values, so byte equality implies bit equality.
+pub fn f64_repr(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Escapes a string for a JSON literal.
+fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_stats(s: &SimStats) -> String {
+    format!(
+        "{{\"instructions\":{},\"accesses\":{},\"l1d_hits\":{},\"l1d_misses\":{},\
+         \"l2_hits\":{},\"l2_misses\":{},\"llc_hits\":{},\"llc_misses\":{},\
+         \"llc_writes\":{},\"llc_fills\":{},\"dram_writebacks\":{},\
+         \"llc_port_stall_cycles\":{},\"dram_row_hits\":{},\"dram_row_conflicts\":{},\
+         \"dram_queue_cycles\":{},\"llc_bypassed_fills\":{},\"prefetches\":{},\
+         \"inclusion_invalidations\":{}}}",
+        s.instructions,
+        s.accesses,
+        s.l1d_hits,
+        s.l1d_misses,
+        s.l2_hits,
+        s.l2_misses,
+        s.llc_hits,
+        s.llc_misses,
+        s.llc_writes,
+        s.llc_fills,
+        s.dram_writebacks,
+        s.llc_port_stall_cycles,
+        s.dram_row_hits,
+        s.dram_row_conflicts,
+        s.dram_queue_cycles,
+        s.llc_bypassed_fills,
+        s.prefetches,
+        s.inclusion_invalidations,
+    )
+}
+
+fn render_endurance(e: &EnduranceReport) -> String {
+    format!(
+        "{{\"class\":\"{:?}\",\"total_writes\":{},\"max_set_writes\":{},\
+         \"mean_set_writes\":{},\"worst_cell_write_rate_hz\":{},\"lifetime_years\":{}}}",
+        e.class,
+        e.total_writes,
+        e.max_set_writes,
+        f64_repr(e.mean_set_writes),
+        f64_repr(e.worst_cell_write_rate_hz),
+        f64_repr(e.lifetime_years),
+    )
+}
+
+/// One raw simulation result.
+pub fn render_result(r: &SimResult) -> String {
+    format!(
+        "{{\"llc_name\":\"{}\",\"exec_time_s\":{},\"llc_dynamic_energy_j\":{},\
+         \"llc_leakage_energy_j\":{},\"endurance\":{},\"stats\":{}}}",
+        escaped(&r.llc_name),
+        f64_repr(r.exec_time.value()),
+        f64_repr(r.llc_dynamic_energy.value()),
+        f64_repr(r.llc_leakage_energy.value()),
+        r.endurance
+            .as_ref()
+            .map_or_else(|| "null".to_owned(), render_endurance),
+        render_stats(&r.stats),
+    )
+}
+
+/// One technology's normalized entry.
+pub fn render_entry(e: &MatrixEntry) -> String {
+    format!(
+        "{{\"llc\":\"{}\",\"speedup\":{},\"energy\":{},\"ed2p\":{},\"result\":{}}}",
+        escaped(&e.llc),
+        f64_repr(e.speedup),
+        f64_repr(e.energy),
+        f64_repr(e.ed2p),
+        render_result(&e.result),
+    )
+}
+
+/// A full matrix row: workload, baseline, every technology entry.
+pub fn render_row(row: &MatrixRow) -> String {
+    let entries: Vec<String> = row.entries.iter().map(render_entry).collect();
+    format!(
+        "{{\"workload\":\"{}\",\"baseline\":{},\"entries\":[{}]}}",
+        escaped(&row.workload),
+        render_result(&row.baseline),
+        entries.join(","),
+    )
+}
+
+/// A single-cell `/eval` response: the workload plus one entry.
+pub fn render_cell(workload: &str, entry: &MatrixEntry) -> String {
+    format!(
+        "{{\"workload\":\"{}\",\"entry\":{}}}",
+        escaped(workload),
+        render_entry(entry),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_llc_circuit::reference;
+    use nvm_llc_sim::Evaluator;
+    use nvm_llc_trace::workloads;
+
+    #[test]
+    fn float_repr_round_trips_bit_exactly() {
+        for v in [0.1, 1.0, 1e-300, 123.456e7, f64::MIN_POSITIVE, -0.0] {
+            let parsed: f64 = f64_repr(v).parse().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        assert_eq!(escaped("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn rendered_row_is_deterministic_and_complete() {
+        let models = reference::fixed_capacity();
+        let baseline = reference::by_name(&models, "SRAM").unwrap();
+        let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+        let run = || {
+            Evaluator::new(baseline.clone(), nvms.clone())
+                .base_accesses(2_000)
+                .run_workload(&workloads::by_name("tonto").unwrap())
+        };
+        let a = render_row(&run());
+        let b = render_row(&run());
+        assert_eq!(a, b, "equal inputs render to identical bytes");
+        assert!(a.starts_with("{\"workload\":\"tonto\""));
+        assert_eq!(a.matches("\"llc\":").count(), 10, "all ten NVMs render");
+        assert!(a.contains("\"exec_time_s\":"));
+        assert!(a.contains("\"endurance\":null"));
+    }
+}

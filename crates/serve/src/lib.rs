@@ -1,0 +1,787 @@
+//! # nvm-llcd — the evaluation service
+//!
+//! A std-only HTTP/1.1 daemon over the workload × technology matrix:
+//! `std::net::TcpListener`, a fixed worker pool, and no dependencies
+//! beyond the workspace. Four endpoints:
+//!
+//! | endpoint   | answer |
+//! |------------|--------|
+//! | `/eval?workload=W&tech=T` | one technology's normalized cell |
+//! | `/row?workload=W`        | the full matrix row for `W` |
+//! | `/healthz`               | liveness (`ok`) |
+//! | `/statsz`                | queue, coalescing, store, and tape-cache counters |
+//!
+//! Optional parameters on `/eval` and `/row`: `models`
+//! (`fixed_capacity`, default, or `fixed_area`) and `accesses`
+//! (per-thread base access count).
+//!
+//! ## Behavior under load
+//!
+//! * **Backpressure** — accepted connections wait in a bounded queue;
+//!   when it is full the accept thread answers `503` immediately. A
+//!   request that would start a new evaluation beyond the in-flight
+//!   cap answers `429`.
+//! * **Coalescing** — N identical concurrent requests cost one
+//!   evaluation: the first becomes the *leader*, the rest block on its
+//!   slot and receive byte-identical bodies.
+//! * **Persistence** — with a store attached ([`ServeConfig::store_dir`])
+//!   evaluations read through and write back the content-addressed
+//!   result store, so a warm request — even after a daemon restart —
+//!   skips simulation entirely.
+//! * **Graceful shutdown** — SIGTERM/SIGINT (or [`Server::stop`]) stops
+//!   accepting, drains queued and in-flight requests, then joins every
+//!   worker.
+//!
+//! Responses are rendered by [`json`] with shortest-round-trip floats,
+//! so a served body is byte-identical to rendering the same
+//! `Evaluator` result locally — the integration tests pin exactly that.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod http;
+pub mod json;
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use nvm_llc_circuit::{reference, LlcModel};
+use nvm_llc_sim::Evaluator;
+use nvm_llc_store::Store;
+use nvm_llc_trace::workloads;
+
+/// Service configuration; every field has a serving-friendly default.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:7878`; port `0` picks one).
+    pub addr: String,
+    /// Worker threads handling parsed requests.
+    pub workers: usize,
+    /// Bounded accept queue; a full queue answers `503`.
+    pub queue_capacity: usize,
+    /// Concurrent evaluations allowed; excess leaders answer `429`.
+    pub max_evals: usize,
+    /// Worker threads *inside* each evaluation (`Evaluator::threads`).
+    pub eval_threads: usize,
+    /// Default per-thread base access count when a request names none.
+    pub base_accesses: usize,
+    /// Persistent result-store directory (none: in-memory caches only).
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            max_evals: 4,
+            eval_threads: 1,
+            base_accesses: 20_000,
+            store_dir: None,
+        }
+    }
+}
+
+/// One-line flag summary shared by `nvm-llcd --help` and
+/// `nvm-llc serve --help`.
+pub const USAGE: &str = "\
+options:
+  --addr HOST:PORT       listen address (default 127.0.0.1:7878)
+  --workers N            request worker threads (default 4)
+  --queue-capacity N     pending-connection bound; full => 503 (default 64)
+  --max-evals N          concurrent evaluations; exhausted => 429 (default 4)
+  --eval-threads N       worker threads inside one evaluation (default 1)
+  --base-accesses N      default per-thread trace accesses (default 20000)
+  --store-dir PATH       persistent content-addressed result store";
+
+impl ServeConfig {
+    /// Parses daemon flags (see [`USAGE`]). Unknown flags, missing
+    /// values, and out-of-range numbers are errors.
+    pub fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+        fn next<'a>(
+            it: &mut impl Iterator<Item = &'a String>,
+            flag: &str,
+        ) -> Result<&'a str, String> {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        }
+        fn positive(raw: &str, flag: &str) -> Result<usize, String> {
+            raw.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("{flag} wants an integer >= 1, got {raw:?}"))
+        }
+        let mut config = ServeConfig::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--addr" => config.addr = next(&mut it, flag)?.to_owned(),
+                "--workers" => config.workers = positive(next(&mut it, flag)?, flag)?,
+                "--queue-capacity" => {
+                    let raw = next(&mut it, flag)?;
+                    config.queue_capacity = raw
+                        .parse()
+                        .map_err(|_| format!("{flag} wants an integer >= 0, got {raw:?}"))?;
+                }
+                "--max-evals" => {
+                    let raw = next(&mut it, flag)?;
+                    config.max_evals = raw
+                        .parse()
+                        .map_err(|_| format!("{flag} wants an integer >= 0, got {raw:?}"))?;
+                }
+                "--eval-threads" => config.eval_threads = positive(next(&mut it, flag)?, flag)?,
+                "--base-accesses" => config.base_accesses = positive(next(&mut it, flag)?, flag)?,
+                "--store-dir" => config.store_dir = Some(PathBuf::from(next(&mut it, flag)?)),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Service-level counters, all monotone.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    coalesce_hits: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_busy: AtomicU64,
+    evaluations: AtomicU64,
+}
+
+/// How one evaluation ended: a shared response body, or a status code
+/// plus error message.
+type EvalOutcome = Result<Arc<String>, (u16, String)>;
+
+/// The coalescing rendezvous for one in-flight evaluation key: the
+/// leader publishes exactly once, waiters block until it does.
+struct EvalSlot {
+    state: Mutex<Option<EvalOutcome>>,
+    ready: Condvar,
+}
+
+impl EvalSlot {
+    fn new() -> EvalSlot {
+        EvalSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: EvalOutcome) {
+        *self.state.lock().expect("slot lock") = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> EvalOutcome {
+        let mut state = self.state.lock().expect("slot lock");
+        loop {
+            if let Some(outcome) = state.as_ref() {
+                return outcome.clone();
+            }
+            state = self.ready.wait(state).expect("slot lock");
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    counters: Counters,
+    coalesce: Mutex<HashMap<String, Arc<EvalSlot>>>,
+    inflight_evals: AtomicUsize,
+    store: Option<Arc<Store>>,
+}
+
+/// A running service instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds, opens the store (when configured), and spawns the accept
+    /// thread plus the worker pool. Returns once the service accepts.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(Store::open(dir)?)),
+            None => None,
+        };
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            coalesce: Mutex::new(HashMap::new()),
+            inflight_evals: AtomicUsize::new(0),
+            store,
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("nvm-llcd-accept".into())
+                    .spawn(move || accept_loop(&shared, listener))?,
+            );
+        }
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("nvm-llcd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stop accepting, drain queued and in-flight
+    /// work. Idempotent; [`Server::join`] completes it.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Waits for every thread to finish draining and exit.
+    pub fn join(mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// [`Server::stop`] then [`Server::join`].
+    pub fn shutdown(self) {
+        self.stop();
+        self.join();
+    }
+
+    /// One-line lifetime summary (for the daemon's shutdown log).
+    pub fn summary(&self) -> String {
+        let c = &self.shared.counters;
+        format!(
+            "{} requests, {} evaluations, {} coalesced, {} queue-rejected, {} busy-rejected",
+            c.requests.load(Ordering::Relaxed),
+            c.evaluations.load(Ordering::Relaxed),
+            c.coalesce_hits.load(Ordering::Relaxed),
+            c.rejected_queue_full.load(Ordering::Relaxed),
+            c.rejected_busy.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // The listener is nonblocking (so shutdown can interrupt
+                // the accept loop); handled streams must not be.
+                let _ = stream.set_nonblocking(false);
+                let mut queue = shared.queue.lock().expect("queue lock");
+                if queue.len() >= shared.config.queue_capacity {
+                    drop(queue);
+                    shared
+                        .counters
+                        .rejected_queue_full
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    // Drain the request head before answering: closing
+                    // with unread bytes resets the connection and can
+                    // discard the 503 before the client sees it.
+                    let _ = http::read_request(&mut stream);
+                    let _ = http::respond(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        "{\"error\":\"request queue full\"}",
+                    );
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Wake any idle worker so it can observe the stop flag.
+    shared.queue_cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                // Pop before honoring stop: shutdown drains the queue.
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => break,
+        }
+    }
+}
+
+fn error_json(message: &str) -> String {
+    format!("{{\"error\":\"{message}\"}}")
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(_) => {
+            let _ = http::respond(
+                &mut stream,
+                400,
+                "application/json",
+                &error_json("malformed request"),
+            );
+            return;
+        }
+    };
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let (status, content_type, body) = route(shared, &request);
+    let _ = http::respond(&mut stream, status, content_type, &body);
+}
+
+fn route(shared: &Shared, request: &http::Request) -> (u16, &'static str, String) {
+    if request.method != "GET" {
+        return (405, "application/json", error_json("GET only"));
+    }
+    match request.path.as_str() {
+        "/healthz" => (200, "text/plain", "ok\n".to_owned()),
+        "/statsz" => (200, "application/json", render_statsz(shared)),
+        "/eval" | "/row" => {
+            let (status, body) = eval_endpoint(shared, request);
+            (status, "application/json", body)
+        }
+        _ => (404, "application/json", error_json("unknown path")),
+    }
+}
+
+/// The model sets a request may evaluate against.
+fn models_for(set: &str) -> Option<Vec<LlcModel>> {
+    match set {
+        "fixed_capacity" => Some(reference::fixed_capacity()),
+        "fixed_area" => Some(reference::fixed_area()),
+        _ => None,
+    }
+}
+
+/// A validated evaluation request: everything that identifies its
+/// output, and therefore its coalescing key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EvalRequest {
+    /// `None`: full row; `Some(tech)`: one cell.
+    tech: Option<String>,
+    models: String,
+    workload: String,
+    accesses: usize,
+}
+
+impl EvalRequest {
+    fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.tech.as_deref().unwrap_or("<row>"),
+            self.models,
+            self.workload,
+            self.accesses,
+        )
+    }
+}
+
+/// Bounds on the per-request `accesses` override: enough to be
+/// meaningful, small enough that one request cannot wedge a worker.
+const ACCESSES_RANGE: std::ops::RangeInclusive<usize> = 100..=5_000_000;
+
+fn parse_eval_request(shared: &Shared, request: &http::Request) -> Result<EvalRequest, String> {
+    let models = request.param("models").unwrap_or("fixed_capacity");
+    let model_set = models_for(models).ok_or_else(|| {
+        format!("unknown models set {models:?} (want fixed_capacity or fixed_area)")
+    })?;
+    let workload = request
+        .param("workload")
+        .ok_or("missing required parameter: workload")?;
+    if workloads::by_name(workload).is_none() {
+        return Err(format!("unknown workload {workload:?}"));
+    }
+    let accesses = match request.param("accesses") {
+        None => shared.config.base_accesses,
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|n| ACCESSES_RANGE.contains(n))
+            .ok_or_else(|| {
+                format!(
+                    "accesses wants an integer in {}..={}, got {raw:?}",
+                    ACCESSES_RANGE.start(),
+                    ACCESSES_RANGE.end()
+                )
+            })?,
+    };
+    let tech = if request.path == "/eval" {
+        let tech = request
+            .param("tech")
+            .ok_or("missing required parameter: tech")?;
+        if reference::by_name(&model_set, tech).is_none() {
+            return Err(format!(
+                "unknown technology {tech:?} in models set {models:?}"
+            ));
+        }
+        Some(tech.to_owned())
+    } else {
+        None
+    };
+    Ok(EvalRequest {
+        tech,
+        models: models.to_owned(),
+        workload: workload.to_owned(),
+        accesses,
+    })
+}
+
+fn eval_endpoint(shared: &Shared, request: &http::Request) -> (u16, String) {
+    let parsed = match parse_eval_request(shared, request) {
+        Ok(parsed) => parsed,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let key = parsed.key();
+    let (slot, leader) = {
+        let mut map = shared.coalesce.lock().expect("coalesce lock");
+        match map.get(&key) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot = Arc::new(EvalSlot::new());
+                map.insert(key.clone(), Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    };
+    if !leader {
+        shared
+            .counters
+            .coalesce_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return match slot.wait() {
+            Ok(body) => (200, (*body).clone()),
+            Err((status, body)) => (status, body),
+        };
+    }
+    let outcome = evaluate(shared, &parsed);
+    slot.publish(match &outcome {
+        Ok(body) => Ok(Arc::new(body.clone())),
+        Err(err) => Err(err.clone()),
+    });
+    shared.coalesce.lock().expect("coalesce lock").remove(&key);
+    match outcome {
+        Ok(body) => (200, body),
+        Err((status, body)) => (status, body),
+    }
+}
+
+/// Runs one evaluation under the in-flight cap, rendering its JSON.
+fn evaluate(shared: &Shared, request: &EvalRequest) -> Result<String, (u16, String)> {
+    let cap = shared.config.max_evals;
+    let admitted = shared
+        .inflight_evals
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < cap).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        shared
+            .counters
+            .rejected_busy
+            .fetch_add(1, Ordering::Relaxed);
+        return Err((
+            429,
+            error_json("evaluation capacity exhausted, retry later"),
+        ));
+    }
+    let result = run_evaluation(shared, request);
+    shared.inflight_evals.fetch_sub(1, Ordering::SeqCst);
+    shared.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+    result
+}
+
+fn run_evaluation(shared: &Shared, request: &EvalRequest) -> Result<String, (u16, String)> {
+    let internal = |what: &str| (500, error_json(what));
+    let models = models_for(&request.models).ok_or_else(|| internal("models set vanished"))?;
+    let baseline =
+        reference::by_name(&models, "SRAM").ok_or_else(|| internal("no SRAM baseline"))?;
+    let nvms: Vec<LlcModel> = match &request.tech {
+        Some(tech) => {
+            vec![reference::by_name(&models, tech).ok_or_else(|| internal("tech vanished"))?]
+        }
+        None => models.into_iter().filter(|m| m.name != "SRAM").collect(),
+    };
+    let workload =
+        workloads::by_name(&request.workload).ok_or_else(|| internal("workload vanished"))?;
+    let mut evaluator = Evaluator::new(baseline, nvms)
+        .base_accesses(request.accesses)
+        .threads(shared.config.eval_threads.max(1));
+    if let Some(store) = &shared.store {
+        evaluator = evaluator.store(Arc::clone(store));
+    }
+    let row = evaluator.run_workload(&workload);
+    Ok(match &request.tech {
+        Some(_) => {
+            let entry = row.entries.first().ok_or_else(|| internal("empty row"))?;
+            json::render_cell(&row.workload, entry)
+        }
+        None => json::render_row(&row),
+    })
+}
+
+fn render_statsz(shared: &Shared) -> String {
+    let queue_depth = shared.queue.lock().expect("queue lock").len();
+    let c = &shared.counters;
+    let store = match &shared.store {
+        Some(store) => {
+            let s = store.stats();
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"corrupt\":{},\"insertions\":{},\
+                 \"evictions\":{},\"bytes_read\":{},\"bytes_written\":{},\
+                 \"resident_bytes\":{}}}",
+                s.hits,
+                s.misses,
+                s.corrupt,
+                s.insertions,
+                s.evictions,
+                s.bytes_read,
+                s.bytes_written,
+                store.resident_bytes(),
+            )
+        }
+        None => "null".to_owned(),
+    };
+    let tc = nvm_llc_sim::tape::cache::stats();
+    format!(
+        "{{\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\
+         \"inflight_evals\":{},\"requests\":{},\"coalesce_hits\":{},\
+         \"rejected_queue_full\":{},\"rejected_busy\":{},\"evaluations\":{},\
+         \"store\":{store},\"tape_cache\":{{\"hits\":{},\"misses\":{},\
+         \"store_hits\":{},\"resident_bytes\":{},\"evictions\":{}}}}}",
+        shared.config.queue_capacity,
+        shared.config.workers,
+        shared.inflight_evals.load(Ordering::SeqCst),
+        c.requests.load(Ordering::Relaxed),
+        c.coalesce_hits.load(Ordering::Relaxed),
+        c.rejected_queue_full.load(Ordering::Relaxed),
+        c.rejected_busy.load(Ordering::Relaxed),
+        c.evaluations.load(Ordering::Relaxed),
+        tc.hits,
+        tc.misses,
+        tc.store_hits,
+        tc.resident_bytes,
+        tc.evictions,
+    )
+}
+
+/// Process signal plumbing for the daemon: SIGTERM/SIGINT set a flag
+/// the serve loop polls, so shutdown is always the graceful path.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the installed handler on SIGTERM or SIGINT.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler for SIGINT (2) and SIGTERM (15). Declares
+    /// libc's `signal` directly — std links libc on unix, so no crate
+    /// dependency is needed. No-op elsewhere.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Installs nothing on non-unix targets.
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// Runs the daemon: start, serve until SIGTERM/SIGINT, drain, report.
+/// This is the whole of `nvm-llcd` and of `nvm-llc serve`.
+pub fn run(config: ServeConfig) -> std::io::Result<()> {
+    signals::install();
+    let server = Server::start(config)?;
+    eprintln!("nvm-llcd listening on http://{}", server.addr());
+    while !signals::STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("nvm-llcd: draining in-flight work");
+    eprintln!("nvm-llcd: {}", server.summary());
+    server.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(addr: SocketAddr, target: &str) -> (u16, String) {
+        http::get(addr, target).unwrap()
+    }
+
+    #[test]
+    fn parse_args_round_trips_every_flag() {
+        let args: Vec<String> = [
+            "--addr",
+            "0.0.0.0:0",
+            "--workers",
+            "2",
+            "--queue-capacity",
+            "0",
+            "--max-evals",
+            "8",
+            "--eval-threads",
+            "3",
+            "--base-accesses",
+            "5000",
+            "--store-dir",
+            "/tmp/x",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let c = ServeConfig::parse_args(&args).unwrap();
+        assert_eq!(c.addr, "0.0.0.0:0");
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.queue_capacity, 0);
+        assert_eq!(c.max_evals, 8);
+        assert_eq!(c.eval_threads, 3);
+        assert_eq!(c.base_accesses, 5000);
+        assert_eq!(c.store_dir, Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn parse_args_rejects_junk() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(ServeConfig::parse_args(&s(&["--nope"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&["--workers"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&["--workers", "0"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&["--base-accesses", "x"])).is_err());
+        assert!(ServeConfig::parse_args(&[]).is_ok());
+    }
+
+    #[test]
+    fn healthz_statsz_and_errors_respond() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        assert_eq!(request(addr, "/healthz"), (200, "ok\n".to_owned()));
+        let (status, stats) = request(addr, "/statsz");
+        assert_eq!(status, 200);
+        assert!(stats.contains("\"queue_depth\":"), "{stats}");
+        assert!(stats.contains("\"store\":null"), "{stats}");
+        assert_eq!(request(addr, "/nope").0, 404);
+        assert_eq!(request(addr, "/eval?workload=zzz&tech=Jan_S").0, 400);
+        assert_eq!(request(addr, "/eval?workload=tonto").0, 400);
+        assert_eq!(request(addr, "/row?workload=tonto&models=bogus").0, 400);
+        assert_eq!(
+            request(addr, "/row?workload=tonto&accesses=1").0,
+            400,
+            "accesses below range"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_queue_capacity_sheds_with_503() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (status, body) = request(server.addr(), "/healthz");
+        assert_eq!(status, 503);
+        assert!(body.contains("queue full"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_max_evals_rejects_with_429() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_evals: 0,
+            base_accesses: 500,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (status, body) = request(server.addr(), "/row?workload=tonto");
+        assert_eq!(status, 429);
+        assert!(body.contains("capacity"), "{body}");
+        // Health stays green while evaluations are capped out.
+        assert_eq!(request(server.addr(), "/healthz").0, 200);
+        server.shutdown();
+    }
+}

@@ -29,6 +29,7 @@ pub mod config;
 pub mod dram;
 pub mod endurance;
 pub mod hybrid;
+pub mod persist;
 pub mod result;
 pub mod runner;
 pub mod system;

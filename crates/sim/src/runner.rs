@@ -23,11 +23,20 @@
 //! applications per workload instead of N full replays. Singleton groups
 //! (and `batched(false)` evaluators) take the per-technology
 //! [`System::run_cached`] reference path.
+//!
+//! With a persistent store attached ([`Evaluator::store`], or the
+//! process-wide [`crate::persist::set_global_store`]) two more tiers
+//! appear: finished results are served straight from disk (skipping
+//! evaluation entirely), and tape-cache misses try the disk before
+//! re-running the functional pass. Both tiers are content-addressed
+//! ([`crate::persist`]) and bit-exact, so attaching a store never
+//! changes a result — only how fast it arrives.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use nvm_llc_circuit::LlcModel;
+use nvm_llc_store::Store;
 use nvm_llc_trace::{Trace, WorkloadProfile};
 
 use crate::config::ArchConfig;
@@ -49,6 +58,19 @@ pub const DEFAULT_WARMUP: f64 = 0.25;
 /// Environment variable overriding the evaluation worker count (used when
 /// [`Evaluator::threads`] was not called; `1` forces the serial path).
 pub const THREADS_ENV: &str = "NVM_LLC_THREADS";
+
+/// Parses a [`THREADS_ENV`] value into a worker count. `Err` carries
+/// the one-line warning to print: the variable name, the rejected
+/// value, and the fallback that applies.
+pub(crate) fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "warning: ignoring invalid {THREADS_ENV}={raw:?} \
+             (want an integer >= 1); using all available cores"
+        )),
+    }
+}
 
 /// One technology's normalized outcome for one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +136,7 @@ pub struct Evaluator {
     threads: Option<usize>,
     batched: bool,
     tape_cache_bytes: Option<u64>,
+    store: Option<Arc<Store>>,
 }
 
 impl Evaluator {
@@ -129,6 +152,7 @@ impl Evaluator {
             threads: None,
             batched: true,
             tape_cache_bytes: None,
+            store: None,
         }
     }
 
@@ -183,18 +207,36 @@ impl Evaluator {
         self
     }
 
+    /// Attaches a persistent result store: finished results and outcome
+    /// tapes are read from (and written back to) it, so a repeated
+    /// evaluation — even across process restarts — skips both the
+    /// functional pass and the timing replay. Takes precedence over any
+    /// process-wide store installed via
+    /// [`crate::persist::set_global_store`].
+    pub fn store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The store this evaluator persists through: its own
+    /// ([`Evaluator::store`]) if set, else the process-wide one.
+    fn effective_store(&self) -> Option<Arc<Store>> {
+        self.store.clone().or_else(crate::persist::global_store)
+    }
+
     /// Worker count to use: explicit [`Evaluator::threads`], else the
     /// `NVM_LLC_THREADS` environment variable, else every available core.
+    /// An unparsable environment value warns once (to stderr) and falls
+    /// through to the default.
     fn effective_threads(&self) -> usize {
         if let Some(n) = self.threads {
             return n;
         }
-        if let Some(n) = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-        {
-            return n;
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            match parse_threads(&raw) {
+                Ok(n) => return n,
+                Err(warning) => eprintln!("{warning}"),
+            }
         }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -232,6 +274,7 @@ impl Evaluator {
         if let Some(bytes) = self.tape_cache_bytes {
             crate::tape::cache::set_byte_budget(bytes);
         }
+        let store = self.effective_store();
         let traces: Vec<Arc<Trace>> = workloads
             .iter()
             .map(|w| w.generate_shared(self.seed, w.scaled_accesses(self.base_accesses)))
@@ -251,15 +294,39 @@ impl Evaluator {
             })
             .collect();
 
-        // Work items: per workload, the technology columns grouped by
-        // tape key (insertion-ordered, so scheduling stays
-        // deterministic). With batching off every column is its own
-        // singleton group.
+        // Persistent-result tier: a cell whose finished result is on
+        // disk is filled directly and drops out of scheduling — no
+        // functional pass, no replay. A corrupt or stale record decodes
+        // to `None` and the cell simply computes as usual.
+        let slots: Vec<OnceLock<SimResult>> = (0..cells).map(|_| OnceLock::new()).collect();
+        if let Some(store) = &store {
+            for (wi, trace) in traces.iter().enumerate() {
+                for (mi, system) in systems.iter().enumerate() {
+                    if let Some(result) = store
+                        .get(&crate::persist::result_store_key(system, trace))
+                        .and_then(|payload| crate::persist::decode_result(&payload))
+                    {
+                        slots[wi * width + mi]
+                            .set(result)
+                            .unwrap_or_else(|_| unreachable!("cell filled twice"));
+                    }
+                }
+            }
+        }
+        let pending = |wi: usize, mi: usize| slots[wi * width + mi].get().is_none();
+
+        // Work items: per workload, the still-unserved technology
+        // columns grouped by tape key (insertion-ordered, so scheduling
+        // stays deterministic). With batching off every column is its
+        // own singleton group.
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (wi, trace) in traces.iter().enumerate() {
             if self.batched {
                 let mut by_key: Vec<(TapeKey, Vec<usize>)> = Vec::new();
                 for (mi, system) in systems.iter().enumerate() {
+                    if !pending(wi, mi) {
+                        continue;
+                    }
                     let key = system.tape_key(trace);
                     match by_key.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, cols)) => cols.push(mi),
@@ -268,29 +335,44 @@ impl Evaluator {
                 }
                 groups.extend(by_key.into_iter().map(|(_, cols)| (wi, cols)));
             } else {
-                groups.extend((0..width).map(|mi| (wi, vec![mi])));
+                groups.extend(
+                    (0..width)
+                        .filter(|&mi| pending(wi, mi))
+                        .map(|mi| (wi, vec![mi])),
+                );
             }
         }
 
         // Singleton groups take the per-technology reference path;
         // larger ones fetch the shared tape once and batch-replay it.
+        // Either way the tape fetch goes through the persistent middle
+        // tier when a store is attached, and freshly computed results
+        // are written back (best-effort — a full disk never fails a
+        // run).
         let run_group = |wi: usize, cols: &[usize]| -> Vec<SimResult> {
             if let [mi] = cols {
-                return vec![systems[*mi].run_cached(&traces[wi])];
+                let tape = crate::tape::cache::fetch_with_store(
+                    &systems[*mi],
+                    &traces[wi],
+                    store.as_ref(),
+                );
+                return vec![systems[*mi].replay(&tape)];
             }
             let group: Vec<&System> = cols.iter().map(|&mi| &systems[mi]).collect();
-            let tape = crate::tape::cache::fetch(group[0], &traces[wi]);
+            let tape = crate::tape::cache::fetch_with_store(group[0], &traces[wi], store.as_ref());
             System::replay_batch(&group, &tape)
         };
         let place = |slots: &[OnceLock<SimResult>], wi: usize, cols: &[usize]| {
-            for (mi, result) in cols.iter().zip(run_group(wi, cols)) {
+            for (&mi, result) in cols.iter().zip(run_group(wi, cols)) {
+                if let Some(store) = &store {
+                    let key = crate::persist::result_store_key(&systems[mi], &traces[wi]);
+                    let _ = store.put(&key, &crate::persist::encode_result(&result));
+                }
                 slots[wi * width + mi]
                     .set(result)
                     .unwrap_or_else(|_| unreachable!("cell computed twice"));
             }
         };
-
-        let slots: Vec<OnceLock<SimResult>> = (0..cells).map(|_| OnceLock::new()).collect();
         let threads = self.effective_threads().min(groups.len().max(1));
         if threads <= 1 {
             // Exact legacy serial path: groups in order, current thread.
@@ -447,6 +529,38 @@ mod tests {
         let serial = small_evaluator().threads(1).run_all(&ws);
         let parallel = small_evaluator().threads(4).run_all(&ws);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 2 "), Ok(2));
+        for bad in ["0", "-1", "abc", "", "1.5"] {
+            let warning = parse_threads(bad).unwrap_err();
+            assert!(warning.contains(THREADS_ENV), "{warning}");
+            assert!(warning.contains(&format!("{bad:?}")), "{warning}");
+            assert!(warning.contains("available cores"), "{warning}");
+        }
+    }
+
+    #[test]
+    fn persistent_store_round_trips_bit_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("nvm-llc-runner-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = workloads::by_name("milc").unwrap();
+        let fresh = small_evaluator().run_workload(&w);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        // Cold pass computes everything and writes results back …
+        let cold = small_evaluator().store(Arc::clone(&store)).run_workload(&w);
+        assert_eq!(cold, fresh, "attaching a store must not change results");
+        assert!(store.stats().insertions > 0, "cold pass persisted results");
+        // … and the warm pass serves every cell from the result tier,
+        // still bit-identical.
+        let warm = small_evaluator().store(Arc::clone(&store)).run_workload(&w);
+        assert_eq!(warm, fresh);
+        assert!(store.stats().hits >= 11, "11 cells served from disk");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -515,6 +515,7 @@ impl System {
         let cfg = &self.config;
         TapeKey::new(
             trace.uid(),
+            trace.content_hash(),
             cfg.cores,
             (
                 cfg.l1d.capacity_bytes,

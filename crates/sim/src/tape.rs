@@ -173,6 +173,16 @@ impl EventRecord {
         self.0 & Self::LLC_FILLED != 0
     }
 
+    /// The raw packed word (for serialization).
+    pub(crate) fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a record from its raw packed word.
+    pub(crate) fn from_bits(bits: u64) -> EventRecord {
+        EventRecord(bits)
+    }
+
     /// Unpacks the record into its flat-field form — the unit the timing
     /// engine consumes. Bits 40–47 of the packed word are exactly the
     /// eight flag bits of [`DecodedEvent`], in the same order.
@@ -379,6 +389,17 @@ impl PackedBlocks {
         self.bytes.capacity()
     }
 
+    /// The encoded stream's raw parts, for serialization: varint bytes,
+    /// address count, and the encoder's last-address state.
+    pub(crate) fn parts(&self) -> (&[u8], usize, u64) {
+        (&self.bytes, self.len, self.last)
+    }
+
+    /// Rebuilds a stream from [`PackedBlocks::parts`] output.
+    pub(crate) fn from_parts(bytes: Vec<u8>, len: usize, last: u64) -> PackedBlocks {
+        PackedBlocks { bytes, len, last }
+    }
+
     /// Bytes a flat `Vec<u64>` of the same stream would hold.
     fn raw_bytes(&self) -> usize {
         self.len * std::mem::size_of::<u64>()
@@ -475,6 +496,31 @@ impl OutcomeTape {
 
     pub(crate) fn set_stats(&mut self, stats: SimStats) {
         self.stats = stats;
+    }
+
+    /// Rebuilds a tape from deserialized parts (`crate::persist`). The
+    /// decoded form starts empty, exactly as after recording.
+    pub(crate) fn from_parts(
+        records: Vec<EventRecord>,
+        endurance_blocks: PackedBlocks,
+        dram_blocks: PackedBlocks,
+        stats: SimStats,
+        cores: u32,
+    ) -> OutcomeTape {
+        OutcomeTape {
+            records,
+            endurance_blocks,
+            dram_blocks,
+            stats,
+            cores,
+            decoded: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The raw packed side streams (endurance, DRAM), for serialization
+    /// by [`crate::persist`].
+    pub(crate) fn packed_streams(&self) -> (&PackedBlocks, &PackedBlocks) {
+        (&self.endurance_blocks, &self.dram_blocks)
     }
 
     /// The flat decode of this tape, built on first use ([`DecodedTape`])
@@ -635,6 +681,11 @@ impl DecodedTape {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TapeKey {
     trace_uid: u64,
+    /// Content-derived trace identity ([`Trace::content_hash`]) — the
+    /// process-independent half of the key, used by persistence
+    /// ([`TapeKey::persist_bytes`]) where `trace_uid` would not survive
+    /// a restart.
+    trace_hash: u128,
     cores: u32,
     /// (capacity, associativity, block) per private level.
     l1d: (u64, u32, u32),
@@ -652,6 +703,7 @@ impl TapeKey {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         trace_uid: u64,
+        trace_hash: u128,
         cores: u32,
         l1d: (u64, u32, u32),
         l2: (u64, u32, u32),
@@ -664,6 +716,7 @@ impl TapeKey {
     ) -> TapeKey {
         TapeKey {
             trace_uid,
+            trace_hash,
             cores,
             l1d,
             l2,
@@ -674,6 +727,34 @@ impl TapeKey {
             l2_prefetch,
             llc_bypass,
         }
+    }
+
+    /// The key's process-independent identity, serialized for content
+    /// addressing: every field **except** the process-local `trace_uid`
+    /// (the trace's content hash stands in for it). Two processes
+    /// evaluating identical traces on identical geometries produce the
+    /// same bytes — that is what lets a persistent store serve one's
+    /// tapes to the other.
+    pub(crate) fn persist_bytes(&self) -> Vec<u8> {
+        let mut w = nvm_llc_store::wire::Writer::new();
+        w.u128(self.trace_hash)
+            .u32(self.cores)
+            .u64(self.l1d.0)
+            .u32(self.l1d.1)
+            .u32(self.l1d.2)
+            .u64(self.l2.0)
+            .u32(self.l2.1)
+            .u32(self.l2.2)
+            .u64(self.llc_capacity_bytes)
+            .u8(match self.replacement {
+                Replacement::Lru => 0,
+                Replacement::Random => 1,
+            })
+            .u64(self.warmup_bits)
+            .bool(self.inclusive_llc)
+            .bool(self.l2_prefetch)
+            .bool(self.llc_bypass);
+        w.into_bytes()
     }
 }
 
@@ -734,14 +815,32 @@ pub mod cache {
         budget: u64,
     }
 
+    /// Parses a [`BUDGET_ENV`] value into a byte budget (`0` lifts the
+    /// bound). `Err` carries the one-line warning to print: the variable
+    /// name, the rejected value, and the fallback that applies.
+    pub(crate) fn parse_budget_mib(raw: &str) -> Result<u64, String> {
+        match raw.trim().parse::<u64>() {
+            Ok(0) => Ok(u64::MAX),
+            Ok(mib) => Ok(mib << 20),
+            Err(_) => Err(format!(
+                "warning: ignoring invalid {BUDGET_ENV}={raw:?} \
+                 (want MiB as an integer >= 0); using the default \
+                 {} MiB budget",
+                DEFAULT_BUDGET_BYTES >> 20
+            )),
+        }
+    }
+
     fn inner() -> &'static Mutex<Inner> {
         static INNER: OnceLock<Mutex<Inner>> = OnceLock::new();
         INNER.get_or_init(|| {
-            let budget = std::env::var(BUDGET_ENV)
-                .ok()
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .map(|mib| if mib == 0 { u64::MAX } else { mib << 20 })
-                .unwrap_or(DEFAULT_BUDGET_BYTES);
+            let budget = match std::env::var(BUDGET_ENV) {
+                Ok(raw) => parse_budget_mib(&raw).unwrap_or_else(|warning| {
+                    eprintln!("{warning}");
+                    DEFAULT_BUDGET_BYTES
+                }),
+                Err(_) => DEFAULT_BUDGET_BYTES,
+            };
             Mutex::new(Inner {
                 map: HashMap::new(),
                 clock: 0,
@@ -753,6 +852,7 @@ pub mod cache {
 
     static HITS: AtomicU64 = AtomicU64::new(0);
     static MISSES: AtomicU64 = AtomicU64::new(0);
+    static STORE_HITS: AtomicU64 = AtomicU64::new(0);
     static BYTES: AtomicU64 = AtomicU64::new(0);
     static RAW_BYTES: AtomicU64 = AtomicU64::new(0);
     static EVICTIONS: AtomicU64 = AtomicU64::new(0);
@@ -762,11 +862,14 @@ pub mod cache {
     pub struct CacheStats {
         /// Fetches served by an already-installed tape slot.
         pub hits: u64,
-        /// Fetches that had to record a new tape (one functional pass
-        /// each — in an evaluation matrix this equals the number of
-        /// distinct geometries × traces, plus re-records of evicted
-        /// keys).
+        /// Fetches that found no resident tape. Each one either decoded
+        /// a persisted tape ([`CacheStats::store_hits`]) or ran a
+        /// functional pass — `misses - store_hits` is the number of
+        /// functional passes actually executed.
         pub misses: u64,
+        /// Memory misses satisfied by decoding a tape from the
+        /// persistent store instead of re-running the functional pass.
+        pub store_hits: u64,
         /// Total encoded bytes of tape recorded (varint/delta form).
         pub bytes: u64,
         /// What the same tapes would have occupied with flat `u64` side
@@ -782,10 +885,12 @@ pub mod cache {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(
                 f,
-                "{} hits / {} functional passes, {:.1} MiB taped \
-                 ({:.1} MiB raw, {} evictions)",
+                "{} hits / {} misses ({} from store, {} functional \
+                 passes), {:.1} MiB taped ({:.1} MiB raw, {} evictions)",
                 self.hits,
                 self.misses,
+                self.store_hits,
+                self.misses - self.store_hits,
                 self.bytes as f64 / (1024.0 * 1024.0),
                 self.raw_bytes as f64 / (1024.0 * 1024.0),
                 self.evictions,
@@ -800,6 +905,20 @@ pub mod cache {
     /// configuration shares the functional geometry receives a pointer-
     /// equal `Arc<OutcomeTape>`.
     pub fn fetch(system: &System, trace: &Arc<Trace>) -> Arc<OutcomeTape> {
+        fetch_with_store(system, trace, None)
+    }
+
+    /// [`fetch`] with a persistent middle tier: a memory miss first
+    /// tries to decode the tape from `store` (content-addressed by
+    /// [`crate::persist::tape_store_key`]) and only records when the
+    /// disk also misses; freshly recorded tapes are written back. Any
+    /// store read failure — absent, corrupt, stale format — silently
+    /// falls through to recompute.
+    pub fn fetch_with_store(
+        system: &System,
+        trace: &Arc<Trace>,
+        store: Option<&Arc<nvm_llc_store::Store>>,
+    ) -> Arc<OutcomeTape> {
         let key = system.tape_key(trace);
         let (slot, fresh) = {
             let mut inner = inner().lock().expect("tape cache lock");
@@ -833,6 +952,24 @@ pub mod cache {
             HITS.fetch_add(1, Ordering::Relaxed);
         }
         let tape = Arc::clone(slot.get_or_init(|| {
+            if let Some(store) = store {
+                let store_key = crate::persist::tape_store_key(&key);
+                if let Some(tape) = store
+                    .get(&store_key)
+                    .and_then(|payload| crate::persist::decode_tape(&payload))
+                {
+                    STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                    let tape = Arc::new(tape);
+                    BYTES.fetch_add(tape.bytes() as u64, Ordering::Relaxed);
+                    RAW_BYTES.fetch_add(tape.raw_bytes() as u64, Ordering::Relaxed);
+                    return tape;
+                }
+                let tape = Arc::new(system.record(trace));
+                let _ = store.put(&store_key, &crate::persist::encode_tape(&tape));
+                BYTES.fetch_add(tape.bytes() as u64, Ordering::Relaxed);
+                RAW_BYTES.fetch_add(tape.raw_bytes() as u64, Ordering::Relaxed);
+                return tape;
+            }
             let tape = Arc::new(system.record(trace));
             BYTES.fetch_add(tape.bytes() as u64, Ordering::Relaxed);
             RAW_BYTES.fetch_add(tape.raw_bytes() as u64, Ordering::Relaxed);
@@ -906,6 +1043,7 @@ pub mod cache {
         CacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
+            store_hits: STORE_HITS.load(Ordering::Relaxed),
             bytes: BYTES.load(Ordering::Relaxed),
             raw_bytes: RAW_BYTES.load(Ordering::Relaxed),
             evictions: EVICTIONS.load(Ordering::Relaxed),
@@ -936,6 +1074,20 @@ mod tests {
         assert!(r.prefetch_evict_llc_write());
         assert!(r.prefetch_llc_fill());
         assert!(r.llc_filled());
+    }
+
+    #[test]
+    fn parse_budget_mib_accepts_mib_and_warns_otherwise() {
+        assert_eq!(cache::parse_budget_mib("64"), Ok(64 << 20));
+        assert_eq!(cache::parse_budget_mib(" 1 "), Ok(1 << 20));
+        // 0 lifts the bound entirely.
+        assert_eq!(cache::parse_budget_mib("0"), Ok(u64::MAX));
+        for bad in ["-3", "abc", "", "2.5"] {
+            let warning = cache::parse_budget_mib(bad).unwrap_err();
+            assert!(warning.contains(cache::BUDGET_ENV), "{warning}");
+            assert!(warning.contains(&format!("{bad:?}")), "{warning}");
+            assert!(warning.contains("256 MiB"), "{warning}");
+        }
     }
 
     #[test]
@@ -1097,6 +1249,7 @@ mod tests {
         let base = || {
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1112,6 +1265,7 @@ mod tests {
         let mut variants = vec![
             TapeKey::new(
                 2,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1124,6 +1278,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 8,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1136,6 +1291,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1148,6 +1304,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1160,6 +1317,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1172,6 +1330,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1184,6 +1343,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),
@@ -1196,6 +1356,7 @@ mod tests {
             ),
             TapeKey::new(
                 1,
+                0xABCD,
                 4,
                 (32768, 8, 64),
                 (262144, 8, 64),

@@ -1,0 +1,638 @@
+//! # nvm-llc-store — persistent content-addressed result store
+//!
+//! A small, std-only on-disk cache keyed by content digests: the
+//! evaluation service and the CLI persist simulation results and encoded
+//! outcome tapes here so that warm state survives process restarts (the
+//! disk tier of the memory → disk → recompute read-through stack).
+//!
+//! Design points, in the order they matter:
+//!
+//! * **Content addressing.** A [`Key`] is a 128-bit FNV-1a digest of a
+//!   caller-assembled payload describing *everything the value depends
+//!   on* (trace content hash, hierarchy geometry, simulation
+//!   configuration, technology parameters, and the producing crate's
+//!   model version). Equal inputs map to the same file; any input change
+//!   maps elsewhere. Nothing is ever updated in place.
+//! * **Self-validating records.** Every file is a [`wire`]-format record:
+//!   a fixed header (magic, format version, payload length, FNV-1a-64
+//!   checksum) followed by the payload. [`Store::get`] re-verifies all
+//!   of it and treats *any* mismatch — truncation, bit rot, a stale
+//!   format — as a miss, deleting the bad file so the caller falls back
+//!   to recompute and the next [`Store::put`] heals the entry.
+//! * **Atomic writes.** [`Store::put`] writes a temporary file in the
+//!   same directory and `rename(2)`s it into place, so concurrent
+//!   readers (other threads *or other processes* sharing the directory)
+//!   only ever observe absent or complete records.
+//! * **Bounded residency.** Like the in-memory tape cache, the store
+//!   holds an LRU byte budget (default [`DEFAULT_BUDGET_BYTES`]):
+//!   inserts that push the resident total over budget evict the
+//!   least-recently-fetched records.
+//!
+//! The crate knows nothing about simulations: values are opaque byte
+//! payloads. `nvm_llc_sim::persist` supplies the encodings and key
+//! derivations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub mod wire;
+
+/// Magic bytes opening every record file.
+const MAGIC: [u8; 4] = *b"NVLS";
+
+/// On-disk record format version; bump on any layout change so old
+/// records read as corrupt (→ recompute) instead of mis-decoding.
+const FORMAT_VERSION: u32 = 1;
+
+/// Record header: magic (4) + format version (4) + payload length (8) +
+/// payload checksum (8).
+const HEADER_BYTES: usize = 24;
+
+/// Default residency budget: 1 GiB of records.
+pub const DEFAULT_BUDGET_BYTES: u64 = 1 << 30;
+
+/// 64-bit FNV-1a over `bytes` (the record checksum).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// 128-bit FNV-1a over `bytes` (the content-address digest).
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut hash = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58du128;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013bu128);
+    }
+    hash
+}
+
+/// A 128-bit content address: the digest of everything a stored value
+/// depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(u128);
+
+impl Key {
+    /// Digests an identity payload into a key.
+    pub fn digest(identity: &[u8]) -> Key {
+        Key(fnv1a128(identity))
+    }
+
+    /// The key as a fixed-width lowercase hex string (the record's file
+    /// stem).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    fn from_hex(stem: &str) -> Option<Key> {
+        if stem.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(stem, 16).ok().map(Key)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Counters describing one store's traffic since it was opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// `get` calls that returned a valid payload.
+    pub hits: u64,
+    /// `get` calls that found no record.
+    pub misses: u64,
+    /// `get` calls that found a record but rejected it (bad magic,
+    /// version, length, or checksum) — counted *in addition to* a miss.
+    pub corrupt: u64,
+    /// Records written (after `put` renamed them into place).
+    pub insertions: u64,
+    /// Records deleted to stay under the byte budget.
+    pub evictions: u64,
+    /// Payload bytes returned by hits.
+    pub bytes_read: u64,
+    /// File bytes written by insertions (header + payload).
+    pub bytes_written: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({} corrupt), {} inserted, {} evicted",
+            self.hits, self.misses, self.corrupt, self.insertions, self.evictions
+        )
+    }
+}
+
+struct IndexEntry {
+    /// Full record size on disk (header + payload).
+    bytes: u64,
+    /// Recency stamp from `Index::clock` (higher = fresher).
+    last_used: u64,
+}
+
+struct Index {
+    map: HashMap<Key, IndexEntry>,
+    clock: u64,
+    resident: u64,
+}
+
+/// A persistent content-addressed record store rooted at one directory.
+///
+/// All operations are `&self` and internally synchronized, so a `Store`
+/// can be shared across threads behind an `Arc`. Multiple processes may
+/// share a directory: writes are atomic renames and reads validate, so
+/// the worst cross-process race is a redundant recompute.
+pub struct Store {
+    dir: PathBuf,
+    budget: u64,
+    index: Mutex<Index>,
+    tmp_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir` with the
+    /// default byte budget, indexing any records already present —
+    /// recency seeded from file modification times, so a reopened
+    /// store evicts in roughly the same order it would have.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Store> {
+        Store::open_with_budget(dir, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// [`Store::open`] with an explicit residency budget in bytes.
+    pub fn open_with_budget(dir: impl AsRef<Path>, budget: u64) -> std::io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Index surviving records, oldest-modified first so their
+        // relative recency is preserved; leftover tmp files from a
+        // crashed writer are swept.
+        let mut found: Vec<(Key, u64, std::time::SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("tmp-") {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(".rec") else {
+                continue;
+            };
+            let Some(key) = Key::from_hex(stem) else {
+                continue;
+            };
+            let meta = entry.metadata()?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            found.push((key, meta.len(), mtime));
+        }
+        found.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut index = Index {
+            map: HashMap::new(),
+            clock: 0,
+            resident: 0,
+        };
+        for (key, bytes, _) in found {
+            index.clock += 1;
+            index.resident += bytes;
+            index.map.insert(
+                key,
+                IndexEntry {
+                    bytes,
+                    last_used: index.clock,
+                },
+            );
+        }
+        let store = Store {
+            dir,
+            budget,
+            index: Mutex::new(index),
+            tmp_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        };
+        store.evict_over_budget(None);
+        Ok(store)
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The residency budget in bytes.
+    pub fn byte_budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn record_path(&self, key: &Key) -> PathBuf {
+        self.dir.join(format!("{}.rec", key.hex()))
+    }
+
+    /// Fetches the payload stored under `key`, or `None` when absent or
+    /// invalid. A record failing validation is counted in
+    /// [`StoreStats::corrupt`], deleted (best-effort), and reported as a
+    /// miss — the caller recomputes and may re-`put`.
+    pub fn get(&self, key: &Key) -> Option<Vec<u8>> {
+        let path = self.record_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.forget(key);
+                return None;
+            }
+        };
+        match validate_record(&bytes) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                self.touch(key, bytes.len() as u64);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                self.forget(key);
+                None
+            }
+        }
+    }
+
+    /// Persists `payload` under `key`: header + payload to a temporary
+    /// sibling, then an atomic rename. Evicts least-recently-fetched
+    /// records if the insert pushed residency over budget.
+    pub fn put(&self, key: &Key, payload: &[u8]) -> std::io::Result<()> {
+        let mut record = Vec::with_capacity(HEADER_BYTES + payload.len());
+        record.extend_from_slice(&MAGIC);
+        record.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+
+        let tmp = self.dir.join(format!(
+            "tmp-{}-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+            key.hex()
+        ));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&record)?;
+            file.sync_all()?;
+        }
+        if let Err(e) = fs::rename(&tmp, self.record_path(key)) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        self.touch(key, record.len() as u64);
+        self.evict_over_budget(Some(key));
+        Ok(())
+    }
+
+    /// Whether a record (valid or not) is currently indexed under `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.index
+            .lock()
+            .expect("store index")
+            .map
+            .contains_key(key)
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("store index").map.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total record bytes currently indexed.
+    pub fn resident_bytes(&self) -> u64 {
+        self.index.lock().expect("store index").resident
+    }
+
+    /// Snapshot of this store's traffic counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Marks `key` as just-used (inserting the index entry if the record
+    /// appeared behind our back, e.g. written by another process).
+    fn touch(&self, key: &Key, bytes: u64) {
+        let mut guard = self.index.lock().expect("store index");
+        let index = &mut *guard;
+        index.clock += 1;
+        let now = index.clock;
+        match index.map.get_mut(key) {
+            Some(entry) => {
+                index.resident = index.resident - entry.bytes + bytes;
+                entry.bytes = bytes;
+                entry.last_used = now;
+            }
+            None => {
+                index.resident += bytes;
+                index.map.insert(
+                    *key,
+                    IndexEntry {
+                        bytes,
+                        last_used: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drops `key` from the index (its file is already gone or bad).
+    fn forget(&self, key: &Key) {
+        let mut index = self.index.lock().expect("store index");
+        if let Some(entry) = index.map.remove(key) {
+            index.resident -= entry.bytes;
+        }
+    }
+
+    /// Deletes least-recently-fetched records until residency fits the
+    /// budget, never shedding `keep` (a budget smaller than one record
+    /// must not churn every insert).
+    fn evict_over_budget(&self, keep: Option<&Key>) {
+        loop {
+            let victim = {
+                let index = self.index.lock().expect("store index");
+                if index.resident <= self.budget {
+                    return;
+                }
+                index
+                    .map
+                    .iter()
+                    .filter(|(k, _)| Some(*k) != keep)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+            };
+            let Some(key) = victim else { return };
+            let _ = fs::remove_file(self.record_path(&key));
+            self.forget(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Checks a raw record file and returns its payload slice when intact.
+fn validate_record(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < HEADER_BYTES || bytes[..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload = &bytes[HEADER_BYTES..];
+    if payload.len() as u64 != len || fnv1a64(payload) != checksum {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos();
+            let dir = std::env::temp_dir().join(format!(
+                "nvm-llc-store-{tag}-{}-{}-{}",
+                std::process::id(),
+                nanos,
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let a = Key::digest(b"hello");
+        assert_eq!(a, Key::digest(b"hello"));
+        assert_ne!(a, Key::digest(b"hello!"));
+        assert_eq!(a.hex().len(), 32);
+        assert_eq!(Key::from_hex(&a.hex()), Some(a));
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let tmp = TempDir::new("roundtrip");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"k1");
+        assert_eq!(store.get(&key), None);
+        store.put(&key, b"payload bytes").unwrap();
+        assert_eq!(store.get(&key).as_deref(), Some(b"payload bytes".as_ref()));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.corrupt), (1, 1, 0));
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn empty_payloads_are_valid_records() {
+        let tmp = TempDir::new("empty");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"nothing");
+        store.put(&key, b"").unwrap();
+        assert_eq!(store.get(&key).as_deref(), Some(b"".as_ref()));
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let tmp = TempDir::new("reopen");
+        let key = Key::digest(b"persisted");
+        {
+            let store = Store::open(&tmp.0).unwrap();
+            store.put(&key, b"still here").unwrap();
+        }
+        let store = Store::open(&tmp.0).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&key));
+        assert_eq!(store.get(&key).as_deref(), Some(b"still here".as_ref()));
+    }
+
+    #[test]
+    fn truncated_record_reads_as_clean_miss() {
+        let tmp = TempDir::new("truncate");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"will truncate");
+        store.put(&key, &vec![7u8; 256]).unwrap();
+        // Truncate mid-payload: the length/checksum no longer match.
+        let path = tmp.0.join(format!("{}.rec", key.hex()));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(store.get(&key), None);
+        assert_eq!(store.stats().corrupt, 1);
+        // The bad file was shed; a later get is a plain miss.
+        assert!(!path.exists());
+        assert!(!store.contains(&key));
+        assert_eq!(store.get(&key), None);
+        assert_eq!(store.stats().corrupt, 1);
+        // And the entry heals on the next put.
+        store.put(&key, b"fresh").unwrap();
+        assert_eq!(store.get(&key).as_deref(), Some(b"fresh".as_ref()));
+    }
+
+    #[test]
+    fn corrupted_byte_fails_the_checksum() {
+        let tmp = TempDir::new("bitrot");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"will rot");
+        store.put(&key, b"some payload").unwrap();
+        let path = tmp.0.join(format!("{}.rec", key.hex()));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get(&key), None);
+        assert_eq!(store.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn wrong_magic_or_version_is_rejected() {
+        let payload = b"p".to_vec();
+        let mut record = Vec::new();
+        record.extend_from_slice(&MAGIC);
+        record.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        assert!(validate_record(&record).is_some());
+        let mut bad_magic = record.clone();
+        bad_magic[0] = b'X';
+        assert!(validate_record(&bad_magic).is_none());
+        let mut bad_version = record.clone();
+        bad_version[4] = 0xFF;
+        assert!(validate_record(&bad_version).is_none());
+        assert!(validate_record(&record[..HEADER_BYTES - 1]).is_none());
+    }
+
+    #[test]
+    fn eviction_sheds_least_recently_used_first() {
+        let tmp = TempDir::new("lru");
+        // Each record is 24 + 100 bytes; budget fits exactly two.
+        let store = Store::open_with_budget(&tmp.0, 2 * 124).unwrap();
+        let (a, b, c) = (Key::digest(b"a"), Key::digest(b"b"), Key::digest(b"c"));
+        store.put(&a, &[1u8; 100]).unwrap();
+        store.put(&b, &[2u8; 100]).unwrap();
+        // Refresh `a`, making `b` the LRU victim when `c` arrives.
+        assert!(store.get(&a).is_some());
+        store.put(&c, &[3u8; 100]).unwrap();
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.contains(&a));
+        assert!(!store.contains(&b));
+        assert!(store.contains(&c));
+        assert!(store.resident_bytes() <= 2 * 124);
+    }
+
+    #[test]
+    fn reopen_respects_budget_and_mtime_order() {
+        let tmp = TempDir::new("reopen-budget");
+        let keys: Vec<Key> = (0..4).map(|i| Key::digest(&[i as u8])).collect();
+        {
+            let store = Store::open(&tmp.0).unwrap();
+            for key in &keys {
+                store.put(key, &[0u8; 100]).unwrap();
+            }
+        }
+        // Reopen with room for two records: the two oldest go.
+        let store = Store::open_with_budget(&tmp.0, 2 * 124).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 2);
+    }
+
+    #[test]
+    fn tmp_files_are_swept_and_never_indexed() {
+        let tmp = TempDir::new("sweep");
+        fs::create_dir_all(&tmp.0).unwrap();
+        fs::write(tmp.0.join("tmp-999-0-deadbeef"), b"half-written").unwrap();
+        fs::write(tmp.0.join("unrelated.txt"), b"ignored").unwrap();
+        let store = Store::open(&tmp.0).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(!tmp.0.join("tmp-999-0-deadbeef").exists());
+        assert!(tmp.0.join("unrelated.txt").exists());
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let s = StoreStats {
+            hits: 3,
+            misses: 2,
+            corrupt: 1,
+            ..StoreStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("3 hits"));
+        assert!(text.contains("1 corrupt"));
+    }
+}

@@ -85,6 +85,29 @@ pub struct Trace {
     events: Vec<TraceEvent>,
     threads: u8,
     uid: u64,
+    content_hash: u128,
+}
+
+/// 128-bit FNV-1a over every event field plus the thread count: a
+/// process-independent identity for persistent (on-disk) memoization,
+/// where [`Trace::uid`]'s process-local counter cannot be used.
+fn content_hash(events: &[TraceEvent], threads: u8) -> u128 {
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58du128;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u128::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix(u64::from(threads));
+    for e in events {
+        mix(e.addr);
+        mix(u64::from(e.tid)
+            | (u64::from(e.kind.is_write()) << 8)
+            | (u64::from(e.gap_instructions) << 9));
+    }
+    hash
 }
 
 impl Trace {
@@ -100,10 +123,12 @@ impl Trace {
             events.iter().all(|e| e.tid < threads),
             "event tid out of range"
         );
+        let content_hash = content_hash(&events, threads);
         Trace {
             events,
             threads,
             uid: next_uid(),
+            content_hash,
         }
     }
 
@@ -116,6 +141,14 @@ impl Trace {
     /// traces normally share one uid via the same `Arc`.
     pub fn uid(&self) -> u64 {
         self.uid
+    }
+
+    /// Content-derived identity: a 128-bit digest of the thread count and
+    /// every event, stable across processes and runs. Persistent caches
+    /// (the simulator's on-disk result store) key on this; in-process
+    /// memoization keeps using the cheaper [`Trace::uid`].
+    pub fn content_hash(&self) -> u128 {
+        self.content_hash
     }
 
     /// Number of threads.
@@ -231,6 +264,25 @@ mod tests {
         assert_eq!(a.uid(), a.clone().uid(), "a clone has identical events");
         assert_ne!(a.uid(), 0, "built traces never collide with default()");
         assert_eq!(Trace::default().uid(), 0);
+    }
+
+    #[test]
+    fn content_hash_follows_content_not_identity() {
+        let a = Trace::new(vec![ev(0, 64, AccessKind::Read, 3)], 1);
+        let b = Trace::new(vec![ev(0, 64, AccessKind::Read, 3)], 1);
+        // Same events: same content hash despite distinct uids.
+        assert_ne!(a.uid(), b.uid());
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Any field change moves the hash.
+        let addr = Trace::new(vec![ev(0, 128, AccessKind::Read, 3)], 1);
+        let kind = Trace::new(vec![ev(0, 64, AccessKind::Write, 3)], 1);
+        let gap = Trace::new(vec![ev(0, 64, AccessKind::Read, 4)], 1);
+        let threads = Trace::new(vec![ev(0, 64, AccessKind::Read, 3)], 2);
+        for other in [&addr, &kind, &gap, &threads] {
+            assert_ne!(a.content_hash(), other.content_hash());
+        }
+        // And the empty default is distinct from any built trace.
+        assert_ne!(a.content_hash(), Trace::default().content_hash());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `nvm-llcd` evaluation service: concurrent
+//! clients coalesce onto one evaluation, every response is
+//! byte-identical to evaluating directly, and a daemon restart serves
+//! warm requests from the persistent store.
+
+use std::sync::{Arc, Barrier};
+
+use nvm_llc::prelude::*;
+use nvm_llc::serve::{http, json, ServeConfig, Server};
+
+/// Extracts the integer field `"name":N` that follows `anchor` in a
+/// rendered `/statsz` body (crude, but the format is ours).
+fn field_after(stats: &str, anchor: &str, name: &str) -> u64 {
+    let start = stats.find(anchor).unwrap_or(0);
+    let pattern = format!("\"{name}\":");
+    let at = stats[start..].find(&pattern).expect(&pattern) + start + pattern.len();
+    stats[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+fn direct_row(workload: &str, accesses: usize) -> MatrixRow {
+    let models = reference::fixed_capacity();
+    let baseline = reference::by_name(&models, "SRAM").unwrap();
+    let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+    Evaluator::new(baseline, nvms)
+        .base_accesses(accesses)
+        .run_workload(&workloads::by_name(workload).unwrap())
+}
+
+use nvm_llc::sim::MatrixRow;
+
+#[test]
+fn overlapping_identical_requests_coalesce_and_stay_bit_identical() {
+    const CLIENTS: usize = 8;
+    const ACCESSES: usize = 40_000;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: CLIENTS,
+        max_evals: CLIENTS,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Hammer the daemon with identical requests released together.
+    // The expected row is computed only afterwards: evaluating it here
+    // would warm the process-wide trace and tape caches, making the
+    // leader's evaluation too fast for the others to overlap with.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let target = format!("/row?workload=tonto&accesses={ACCESSES}");
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let target = target.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    http::get(addr, &target).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let expected = json::render_row(&direct_row("tonto", ACCESSES));
+    for (status, body) in &responses {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            body, &expected,
+            "a served row must be byte-identical to the direct evaluation"
+        );
+    }
+    let (_, stats) = http::get(addr, "/statsz").unwrap();
+    let coalesced = field_after(&stats, "", "coalesce_hits");
+    let evaluations = field_after(&stats, "", "evaluations");
+    assert!(
+        coalesced >= 1,
+        "{CLIENTS} overlapping identical requests must coalesce: {stats}"
+    );
+    assert!(
+        evaluations < CLIENTS as u64,
+        "coalescing must save whole evaluations: {stats}"
+    );
+    assert_eq!(coalesced + evaluations, CLIENTS as u64, "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn single_cell_matches_direct_evaluation() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let models = reference::fixed_capacity();
+    let baseline = reference::by_name(&models, "SRAM").unwrap();
+    let jan = reference::by_name(&models, "Jan").unwrap();
+    let row = Evaluator::new(baseline, vec![jan])
+        .base_accesses(6_000)
+        .run_workload(&workloads::by_name("x264").unwrap());
+    let expected = json::render_cell(&row.workload, &row.entries[0]);
+    let (status, body) =
+        http::get(server.addr(), "/eval?workload=x264&tech=Jan&accesses=6000").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, expected);
+    server.shutdown();
+}
+
+#[test]
+fn warm_requests_survive_a_daemon_restart_via_the_store() {
+    let dir = std::env::temp_dir().join(format!("nvm-llcd-restart-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let target = "/row?workload=ua&accesses=6000";
+
+    // First daemon: cold request computes and persists every cell.
+    let first = Server::start(config()).unwrap();
+    let (status, cold) = http::get(first.addr(), target).unwrap();
+    assert_eq!(status, 200);
+    let (_, stats) = http::get(first.addr(), "/statsz").unwrap();
+    assert!(
+        field_after(&stats, "\"store\":", "insertions") >= 11,
+        "cold run persists all 11 results: {stats}"
+    );
+    first.shutdown();
+
+    // Second daemon, same directory: the row comes back bit-identical,
+    // with every cell a store hit — no cell was re-evaluated.
+    let second = Server::start(config()).unwrap();
+    let (status, warm) = http::get(second.addr(), target).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(warm, cold, "restart must not change a single byte");
+    let (_, stats) = http::get(second.addr(), "/statsz").unwrap();
+    assert!(
+        field_after(&stats, "\"store\":", "hits") >= 11,
+        "warm run serves all 11 results from disk: {stats}"
+    );
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
