@@ -3,6 +3,7 @@
 //! ```text
 //! nvm-llc <artifact> [--scale smoke|default|full] [--threads N]
 //!         [--tape-cache-mb N] [--store-dir PATH] [--stats]
+//!         [--trace-out PATH]
 //!
 //! artifacts:
 //!   table2 | table3 | table4 | table5 | table6
@@ -28,6 +29,7 @@ fn usage() -> ExitCode {
          \x20               [--tape-cache-mb N]   (0 lifts the tape-cache bound)\n\
          \x20               [--store-dir PATH]    (persistent result store)\n\
          \x20               [--stats]             (log cache counters on exit)\n\
+         \x20               [--trace-out PATH]    (write a chrome://tracing span trace)\n\
          artifacts: table2 table3 table4 table5 table6 fig1 fig2 fig4 sweep\n\
          \x20          lifetime selection dl all | cell <name> | characterize <bmk> | mrc <bmk>\n\
          \x20          serve [options]   (see `nvm-llc serve --help`)"
@@ -107,15 +109,47 @@ fn apply_store_dir(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `--trace-out PATH` records every span of the run into the chrome
+/// trace ring buffer and writes it as chrome://tracing JSON on exit.
+/// An unwritable path warns once on stderr and disables recording —
+/// the run itself proceeds (matching the `NVM_LLC_THREADS` /
+/// `NVM_LLC_TAPE_CACHE_MB` fallback convention). Returns the path to
+/// write on success, `Err` only for a missing value.
+fn apply_trace_out(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    let Some(i) = args.iter().position(|a| a == "--trace-out") else {
+        return Ok(None);
+    };
+    let Some(path) = args.get(i + 1) else {
+        return Err("--trace-out needs a path".to_owned());
+    };
+    let path = std::path::PathBuf::from(path);
+    // Probe writability up front so a typo'd directory fails before an
+    // hour-long run, not after.
+    if let Err(e) = std::fs::File::create(&path) {
+        eprintln!(
+            "warning: ignoring unwritable --trace-out {}: {e}; no trace will be written",
+            path.display()
+        );
+        return Ok(None);
+    }
+    nvm_llc::obs::chrome::start();
+    Ok(Some(path))
+}
+
 /// After an evaluation artifact finishes, say how well the two
 /// process-wide caches did: generated traces held, and the tape cache's
 /// functional-pass accounting. Opt-in via `--stats`; the same counters
 /// are always live on the service's `/statsz` endpoint.
 fn log_cache_stats() {
-    eprintln!(
-        "caches: {} generated traces held, tape cache {}",
-        nvm_llc::trace::cache::len(),
-        nvm_llc::sim::tape::cache::stats()
+    let tc = nvm_llc::sim::tape::cache::stats();
+    nvm_llc::obs::info!(
+        "cli", "cache stats";
+        "generated_traces" => nvm_llc::trace::cache::len(),
+        "tape_cache" => tc.to_string(),
+        "tape_hits" => tc.hits,
+        "tape_misses" => tc.misses,
+        "tape_store_hits" => tc.store_hits,
+        "tape_evictions" => tc.evictions,
     );
 }
 
@@ -166,6 +200,19 @@ fn main() -> ExitCode {
     if let Err(e) = apply_store_dir(&args) {
         eprintln!("{e}");
         return usage();
+    }
+    let trace_out = match apply_trace_out(&args) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+
+    // `--stats` reports through the structured logger; make sure the
+    // report is visible even with NVM_LLC_LOG unset (env still wins).
+    if args.iter().any(|a| a == "--stats") {
+        nvm_llc::obs::log::set_default_level(nvm_llc::obs::log::Level::Info);
     }
 
     // Cache-effectiveness logging is opt-in (`--stats`), and only
@@ -254,6 +301,14 @@ fn main() -> ExitCode {
     }
     if evaluates {
         log_cache_stats();
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = nvm_llc::obs::chrome::write_json(&path) {
+            eprintln!(
+                "warning: failed to write --trace-out {}: {e}",
+                path.display()
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -50,6 +50,8 @@ pub use nvm_llc_analysis as analysis;
 pub use nvm_llc_cell as cell;
 /// Re-export of the circuit-model crate.
 pub use nvm_llc_circuit as circuit;
+/// Re-export of the observability crate (metrics, spans, logging).
+pub use nvm_llc_obs as obs;
 /// Re-export of the characterization crate.
 pub use nvm_llc_prism as prism;
 /// Re-export of the evaluation-service crate (`nvm-llc serve`).

@@ -1,0 +1,171 @@
+//! chrome://tracing export: an optional ring buffer of completed spans.
+//!
+//! Recording is off by default and costs one relaxed atomic load per
+//! span drop. [`start`] clears the buffer and begins capturing; every
+//! span that completes while recording appends one entry (name, thread,
+//! start offset, duration). [`export_json`] renders the buffer in the
+//! Trace Event Format — an object with a `traceEvents` array of
+//! complete (`"ph":"X"`) events — which chrome://tracing and Perfetto
+//! load directly.
+//!
+//! The buffer is bounded ([`CAPACITY`] events); once full, later spans
+//! are counted but dropped, and the export notes how many. A full
+//! matrix run emits a few thousand spans, far below the bound.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum buffered events; later spans are dropped (and counted).
+pub const CAPACITY: usize = 1 << 20;
+
+struct Event {
+    name: &'static str,
+    tid: u64,
+    ts_micros: f64,
+    dur_micros: f64,
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicUsize = AtomicUsize::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn events() -> &'static Mutex<Vec<Event>> {
+    static EVENTS: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A small stable id for the calling thread (chrome's `tid` field).
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Starts (or restarts) recording: clears the buffer and the dropped
+/// count. Span guards created from now on are captured.
+pub fn start() {
+    epoch(); // pin the time origin before the first event
+    let mut events = events().lock().expect("chrome trace lock");
+    events.clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    RECORDING.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording; the buffer stays available for [`export_json`].
+pub fn stop() {
+    RECORDING.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being captured.
+pub fn is_recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Buffered event count.
+pub fn len() -> usize {
+    events().lock().expect("chrome trace lock").len()
+}
+
+/// Called by [`crate::span::Span`] on drop.
+pub(crate) fn record(name: &'static str, start: Instant, dur: Duration) {
+    if !RECORDING.load(Ordering::Relaxed) {
+        return;
+    }
+    let ts = start.saturating_duration_since(epoch());
+    let mut events = events().lock().expect("chrome trace lock");
+    if events.len() >= CAPACITY {
+        drop(events);
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(Event {
+        name,
+        tid: thread_id(),
+        ts_micros: ts.as_secs_f64() * 1e6,
+        dur_micros: dur.as_secs_f64() * 1e6,
+    });
+}
+
+/// Renders the buffered spans as Trace Event Format JSON. Loadable by
+/// chrome://tracing and Perfetto as-is.
+pub fn export_json() -> String {
+    use std::fmt::Write as _;
+    let events = events().lock().expect("chrome trace lock");
+    let pid = std::process::id();
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"pid\":{pid},\
+             \"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            ev.name, ev.tid, ev.ts_micros, ev.dur_micros,
+        );
+    }
+    let dropped = DROPPED.load(Ordering::Relaxed);
+    if dropped > 0 {
+        let _ = write!(
+            out,
+            "{}{{\"name\":\"obs: {dropped} spans dropped (buffer full)\",\
+             \"cat\":\"obs\",\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"ts\":0,\"s\":\"g\"}}",
+            if events.is_empty() { "" } else { "," },
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Stops recording and writes [`export_json`] to `path`.
+pub fn write_json(path: &std::path::Path) -> std::io::Result<()> {
+    stop();
+    std::fs::write(path, export_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn recorded_spans_export_as_complete_events() {
+        let _guard = crate::test_enabled_lock();
+        start();
+        let hist = metrics::histogram("nvmllc_test_chrome_seconds", "chrome test");
+        {
+            let _span = crate::span::Span::enter("chrome_span", || hist);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop();
+        let json = export_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"chrome_span\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Balanced braces: the output is at least structurally JSON.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn not_recording_buffers_nothing() {
+        let _guard = crate::test_enabled_lock();
+        stop();
+        let before = len();
+        let hist = metrics::histogram("nvmllc_test_chrome_off_seconds", "chrome off");
+        {
+            let _span = crate::span::Span::enter("invisible", || hist);
+        }
+        assert_eq!(len(), before);
+    }
+}

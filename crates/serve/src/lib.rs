@@ -10,6 +10,7 @@
 //! | `/row?workload=W`        | the full matrix row for `W` |
 //! | `/healthz`               | liveness (`ok`) |
 //! | `/statsz`                | queue, coalescing, store, and tape-cache counters |
+//! | `/metricsz`              | the same registry in Prometheus text exposition |
 //!
 //! Optional parameters on `/eval` and `/row`: `models`
 //! (`fixed_capacity`, default, or `fixed_area`) and `accesses`
@@ -42,12 +43,123 @@
 pub mod http;
 pub mod json;
 
+/// Service metrics in the process-wide [`nvm_llc_obs`] registry.
+pub mod metrics {
+    use nvm_llc_obs::metrics::{
+        counter, counter_with, gauge, histogram, Counter, Gauge, Histogram,
+    };
+
+    /// `nvmllc_serve_requests_total{class=...}` — one instance per
+    /// status class (`2xx`, `4xx`, `5xx`).
+    pub fn requests(class: &str) -> &'static Counter {
+        counter_with(
+            "nvmllc_serve_requests_total",
+            "HTTP responses sent, by status class.",
+            &[("class", class)],
+        )
+    }
+
+    /// `nvmllc_serve_request_seconds`
+    pub fn request_seconds() -> &'static Histogram {
+        histogram(
+            "nvmllc_serve_request_seconds",
+            "Handler latency: request parsed to response written.",
+        )
+    }
+
+    /// `nvmllc_serve_queue_wait_seconds`
+    pub fn queue_wait_seconds() -> &'static Histogram {
+        histogram(
+            "nvmllc_serve_queue_wait_seconds",
+            "Time an accepted connection waited in the bounded queue.",
+        )
+    }
+
+    /// `nvmllc_serve_queue_depth`
+    pub fn queue_depth() -> &'static Gauge {
+        gauge(
+            "nvmllc_serve_queue_depth",
+            "Connections currently waiting in the accept queue.",
+        )
+    }
+
+    /// `nvmllc_serve_inflight_evals`
+    pub fn inflight_evals() -> &'static Gauge {
+        gauge(
+            "nvmllc_serve_inflight_evals",
+            "Evaluations currently running under the in-flight cap.",
+        )
+    }
+
+    /// `nvmllc_serve_rejected_total{reason=...}` — `queue_full` (503)
+    /// or `busy` (429).
+    pub fn rejected(reason: &str) -> &'static Counter {
+        counter_with(
+            "nvmllc_serve_rejected_total",
+            "Requests shed by backpressure, by reason.",
+            &[("reason", reason)],
+        )
+    }
+
+    /// `nvmllc_serve_coalesce_waiters_total`
+    pub fn coalesce_waiters() -> &'static Counter {
+        counter(
+            "nvmllc_serve_coalesce_waiters_total",
+            "Requests that waited on another request's identical evaluation.",
+        )
+    }
+
+    /// `nvmllc_serve_evaluations_total`
+    pub fn evaluations() -> &'static Counter {
+        counter(
+            "nvmllc_serve_evaluations_total",
+            "Evaluations actually run (coalesced waiters excluded).",
+        )
+    }
+
+    /// `nvmllc_serve_uptime_seconds`
+    pub fn uptime_seconds() -> &'static Gauge {
+        gauge(
+            "nvmllc_serve_uptime_seconds",
+            "Seconds since the server started (set at scrape time).",
+        )
+    }
+
+    /// Pre-registers the whole workspace metric inventory — every serve
+    /// family above plus the evaluator, tape-cache, trace-cache, and
+    /// store families — so a scrape of a freshly started (or purely
+    /// store-served) daemon shows zeros instead of missing series.
+    pub fn register() {
+        for class in ["2xx", "4xx", "5xx"] {
+            requests(class);
+        }
+        request_seconds();
+        queue_wait_seconds();
+        queue_depth();
+        inflight_evals();
+        for reason in ["queue_full", "busy"] {
+            rejected(reason);
+        }
+        coalesce_waiters();
+        evaluations();
+        uptime_seconds();
+        nvm_llc_obs::metrics::histogram(
+            "nvmllc_serve_handle_seconds",
+            "Wall time of the `serve_handle` span.",
+        );
+        nvm_llc_sim::runner::metrics::register();
+        nvm_llc_sim::tape::cache::metrics::register();
+        nvm_llc_trace::cache::metrics::register();
+        nvm_llc_store::metrics::register();
+    }
+}
+
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nvm_llc_circuit::{reference, LlcModel};
 use nvm_llc_sim::Evaluator;
@@ -153,6 +265,22 @@ struct Counters {
     rejected_queue_full: AtomicU64,
     rejected_busy: AtomicU64,
     evaluations: AtomicU64,
+    /// Responses by status class: [2xx, 4xx, 5xx].
+    by_class: [AtomicU64; 3],
+}
+
+impl Counters {
+    /// Counts one response toward its status class, here and in the
+    /// process-wide registry.
+    fn count_status(&self, status: u16) {
+        let (idx, class) = match status / 100 {
+            2 => (0, "2xx"),
+            4 => (1, "4xx"),
+            _ => (2, "5xx"),
+        };
+        self.by_class[idx].fetch_add(1, Ordering::Relaxed);
+        metrics::requests(class).inc();
+    }
 }
 
 /// How one evaluation ended: a shared response body, or a status code
@@ -192,13 +320,15 @@ impl EvalSlot {
 
 struct Shared {
     config: ServeConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     stop: AtomicBool,
     counters: Counters,
     coalesce: Mutex<HashMap<String, Arc<EvalSlot>>>,
     inflight_evals: AtomicUsize,
     store: Option<Arc<Store>>,
+    started: Instant,
+    next_request_id: AtomicU64,
 }
 
 /// A running service instance.
@@ -218,6 +348,7 @@ impl Server {
     /// Binds, opens the store (when configured), and spawns the accept
     /// thread plus the worker pool. Returns once the service accepts.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        metrics::register();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -235,6 +366,8 @@ impl Server {
             coalesce: Mutex::new(HashMap::new()),
             inflight_evals: AtomicUsize::new(0),
             store,
+            started: Instant::now(),
+            next_request_id: AtomicU64::new(1),
         });
         let mut threads = Vec::with_capacity(workers + 1);
         {
@@ -318,6 +451,8 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
                         .counters
                         .rejected_queue_full
                         .fetch_add(1, Ordering::Relaxed);
+                    metrics::rejected("queue_full").inc();
+                    shared.counters.count_status(503);
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
                     // Drain the request head before answering: closing
@@ -331,7 +466,8 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
                         "{\"error\":\"request queue full\"}",
                     );
                 } else {
-                    queue.push_back(stream);
+                    queue.push_back((stream, Instant::now()));
+                    metrics::queue_depth().set(queue.len() as u64);
                     drop(queue);
                     shared.queue_cv.notify_one();
                 }
@@ -352,8 +488,9 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 // Pop before honoring stop: shutdown drains the queue.
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some((stream, enqueued)) = queue.pop_front() {
+                    metrics::queue_depth().set(queue.len() as u64);
+                    break Some((stream, enqueued));
                 }
                 if shared.stop.load(Ordering::SeqCst) {
                     break None;
@@ -366,7 +503,10 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match stream {
-            Some(stream) => handle_connection(shared, stream),
+            Some((stream, enqueued)) => {
+                metrics::queue_wait_seconds().record(enqueued.elapsed().as_secs_f64());
+                handle_connection(shared, stream);
+            }
             None => break,
         }
     }
@@ -377,11 +517,13 @@ fn error_json(message: &str) -> String {
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _span = nvm_llc_obs::span!("serve_handle");
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let request = match http::read_request(&mut stream) {
         Ok(request) => request,
         Err(_) => {
+            shared.counters.count_status(400);
             let _ = http::respond(
                 &mut stream,
                 400,
@@ -391,8 +533,20 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             return;
         }
     };
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
     let (status, content_type, body) = route(shared, &request);
+    let elapsed = start.elapsed();
+    metrics::request_seconds().record(elapsed.as_secs_f64());
+    shared.counters.count_status(status);
+    nvm_llc_obs::debug!(
+        "serve", "request";
+        "request_id" => request_id,
+        "path" => request.path.as_str(),
+        "status" => u64::from(status),
+        "micros" => elapsed.as_micros() as u64,
+    );
     let _ = http::respond(&mut stream, status, content_type, &body);
 }
 
@@ -403,6 +557,7 @@ fn route(shared: &Shared, request: &http::Request) -> (u16, &'static str, String
     match request.path.as_str() {
         "/healthz" => (200, "text/plain", "ok\n".to_owned()),
         "/statsz" => (200, "application/json", render_statsz(shared)),
+        "/metricsz" => (200, "text/plain; version=0.0.4", render_metricsz(shared)),
         "/eval" | "/row" => {
             let (status, body) = eval_endpoint(shared, request);
             (status, "application/json", body)
@@ -515,6 +670,7 @@ fn eval_endpoint(shared: &Shared, request: &http::Request) -> (u16, String) {
             .counters
             .coalesce_hits
             .fetch_add(1, Ordering::Relaxed);
+        metrics::coalesce_waiters().inc();
         return match slot.wait() {
             Ok(body) => (200, (*body).clone()),
             Err((status, body)) => (status, body),
@@ -546,14 +702,18 @@ fn evaluate(shared: &Shared, request: &EvalRequest) -> Result<String, (u16, Stri
             .counters
             .rejected_busy
             .fetch_add(1, Ordering::Relaxed);
+        metrics::rejected("busy").inc();
         return Err((
             429,
             error_json("evaluation capacity exhausted, retry later"),
         ));
     }
+    metrics::inflight_evals().set(shared.inflight_evals.load(Ordering::SeqCst) as u64);
     let result = run_evaluation(shared, request);
     shared.inflight_evals.fetch_sub(1, Ordering::SeqCst);
+    metrics::inflight_evals().set(shared.inflight_evals.load(Ordering::SeqCst) as u64);
     shared.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+    metrics::evaluations().inc();
     result
 }
 
@@ -609,12 +769,16 @@ fn render_statsz(shared: &Shared) -> String {
         None => "null".to_owned(),
     };
     let tc = nvm_llc_sim::tape::cache::stats();
+    sync_scrape_gauges(shared);
     format!(
         "{{\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\
          \"inflight_evals\":{},\"requests\":{},\"coalesce_hits\":{},\
          \"rejected_queue_full\":{},\"rejected_busy\":{},\"evaluations\":{},\
          \"store\":{store},\"tape_cache\":{{\"hits\":{},\"misses\":{},\
-         \"store_hits\":{},\"resident_bytes\":{},\"evictions\":{}}}}}",
+         \"store_hits\":{},\"resident_bytes\":{},\"evictions\":{}}},\
+         \"uptime_seconds\":{},\"build\":{{\"version\":\"{}\",\"git_hash\":\"{}\"}},\
+         \"requests_by_class\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\
+         \"metrics\":{}}}",
         shared.config.queue_capacity,
         shared.config.workers,
         shared.inflight_evals.load(Ordering::SeqCst),
@@ -628,7 +792,39 @@ fn render_statsz(shared: &Shared) -> String {
         tc.store_hits,
         tc.resident_bytes,
         tc.evictions,
+        shared.started.elapsed().as_secs(),
+        BUILD_VERSION,
+        BUILD_GIT_HASH,
+        c.by_class[0].load(Ordering::Relaxed),
+        c.by_class[1].load(Ordering::Relaxed),
+        c.by_class[2].load(Ordering::Relaxed),
+        nvm_llc_obs::metrics::render_json(),
     )
+}
+
+/// Crate version baked into `/statsz` build info.
+const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Git commit baked in at build time when the `NVM_LLC_GIT_HASH`
+/// environment variable was set (CI exports it); `unknown` otherwise.
+const BUILD_GIT_HASH: &str = match option_env!("NVM_LLC_GIT_HASH") {
+    Some(hash) => hash,
+    None => "unknown",
+};
+
+/// Refreshes the gauges that are cheaper to set at scrape time than to
+/// maintain on every transition.
+fn sync_scrape_gauges(shared: &Shared) {
+    metrics::uptime_seconds().set(shared.started.elapsed().as_secs());
+    metrics::queue_depth().set(shared.queue.lock().expect("queue lock").len() as u64);
+    metrics::inflight_evals().set(shared.inflight_evals.load(Ordering::SeqCst) as u64);
+}
+
+/// `GET /metricsz`: the whole process-wide registry in Prometheus text
+/// exposition format.
+fn render_metricsz(shared: &Shared) -> String {
+    sync_scrape_gauges(shared);
+    nvm_llc_obs::metrics::render_prometheus()
 }
 
 /// Process signal plumbing for the daemon: SIGTERM/SIGINT set a flag
@@ -667,14 +863,21 @@ pub mod signals {
 /// Runs the daemon: start, serve until SIGTERM/SIGINT, drain, report.
 /// This is the whole of `nvm-llcd` and of `nvm-llc serve`.
 pub fn run(config: ServeConfig) -> std::io::Result<()> {
+    // The daemon defaults to lifecycle logging; NVM_LLC_LOG still wins.
+    nvm_llc_obs::log::set_default_level(nvm_llc_obs::log::Level::Info);
     signals::install();
     let server = Server::start(config)?;
-    eprintln!("nvm-llcd listening on http://{}", server.addr());
+    nvm_llc_obs::info!(
+        "serve", "listening";
+        "addr" => format!("http://{}", server.addr()),
+        "version" => BUILD_VERSION,
+        "git_hash" => BUILD_GIT_HASH,
+    );
     while !signals::STOP.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
     }
-    eprintln!("nvm-llcd: draining in-flight work");
-    eprintln!("nvm-llcd: {}", server.summary());
+    nvm_llc_obs::info!("serve", "draining in-flight work");
+    nvm_llc_obs::info!("serve", "shutdown"; "summary" => server.summary());
     server.shutdown();
     Ok(())
 }

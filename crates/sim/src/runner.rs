@@ -72,6 +72,58 @@ pub(crate) fn parse_threads(raw: &str) -> Result<usize, String> {
     }
 }
 
+/// Evaluator counters in the process-wide [`nvm_llc_obs`] registry.
+pub mod metrics {
+    use nvm_llc_obs::metrics::{counter, Counter};
+
+    /// `nvmllc_eval_runs_total`
+    pub fn runs() -> &'static Counter {
+        counter(
+            "nvmllc_eval_runs_total",
+            "Calls to Evaluator::run_all (whole-matrix evaluations).",
+        )
+    }
+
+    /// `nvmllc_eval_cells_total`
+    pub fn cells() -> &'static Counter {
+        counter(
+            "nvmllc_eval_cells_total",
+            "Workload x technology cells evaluated (excludes cells served \
+             from the persistent result tier).",
+        )
+    }
+
+    /// `nvmllc_eval_groups_total`
+    pub fn groups() -> &'static Counter {
+        counter(
+            "nvmllc_eval_groups_total",
+            "Tape-key groups scheduled (one functional pass + one batched \
+             replay each).",
+        )
+    }
+
+    /// `nvmllc_eval_result_tier_hits_total`
+    pub fn result_tier_hits() -> &'static Counter {
+        counter(
+            "nvmllc_eval_result_tier_hits_total",
+            "Cells filled straight from the persistent result store, \
+             skipping evaluation entirely.",
+        )
+    }
+
+    /// Pre-registers the evaluator's metric inventory, spans included.
+    pub fn register() {
+        runs();
+        cells();
+        groups();
+        result_tier_hits();
+        nvm_llc_obs::metrics::histogram(
+            "nvmllc_eval_run_all_seconds",
+            "Wall time of the `eval_run_all` span.",
+        );
+    }
+}
+
 /// One technology's normalized outcome for one workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixEntry {
@@ -271,6 +323,8 @@ impl Evaluator {
     /// bit-identical to the serial path regardless of worker count,
     /// scheduling, or whether batching is enabled.
     pub fn run_all(&self, workloads: &[WorkloadProfile]) -> Vec<MatrixRow> {
+        let _span = nvm_llc_obs::span!("eval_run_all");
+        metrics::runs().inc();
         if let Some(bytes) = self.tape_cache_bytes {
             crate::tape::cache::set_byte_budget(bytes);
         }
@@ -306,6 +360,7 @@ impl Evaluator {
                         .get(&crate::persist::result_store_key(system, trace))
                         .and_then(|payload| crate::persist::decode_result(&payload))
                     {
+                        metrics::result_tier_hits().inc();
                         slots[wi * width + mi]
                             .set(result)
                             .unwrap_or_else(|_| unreachable!("cell filled twice"));
@@ -363,6 +418,8 @@ impl Evaluator {
             System::replay_batch(&group, &tape)
         };
         let place = |slots: &[OnceLock<SimResult>], wi: usize, cols: &[usize]| {
+            metrics::groups().inc();
+            metrics::cells().add(cols.len() as u64);
             for (&mi, result) in cols.iter().zip(run_group(wi, cols)) {
                 if let Some(store) = &store {
                     let key = crate::persist::result_store_key(&systems[mi], &traces[wi]);

@@ -403,6 +403,7 @@ impl System {
     /// tape ([`crate::tape`]) that [`System::replay`] can re-time for any
     /// technology sharing this system's [`TapeKey`] geometry.
     pub fn record(&self, trace: &Trace) -> OutcomeTape {
+        let _span = nvm_llc_obs::span!("tape_record");
         let roi_events = trace.len() - self.warmup_events(trace);
         let mut tape = OutcomeTape::with_capacity(roi_events, self.config.cores);
         let stats = self.functional_walk(trace, |rec, sides| tape.push(rec, sides));
@@ -420,6 +421,7 @@ impl System {
     /// Panics if the tape was recorded for a different core count (the
     /// clearest symptom of keying a tape cache incorrectly).
     pub fn replay(&self, tape: &OutcomeTape) -> SimResult {
+        let _span = nvm_llc_obs::span!("tape_replay");
         assert_eq!(
             tape.cores(),
             self.config.cores,
@@ -456,6 +458,7 @@ impl System {
     ///
     /// Panics if any system's core count differs from the tape's.
     pub fn replay_batch(systems: &[&System], tape: &OutcomeTape) -> Vec<SimResult> {
+        let _span = nvm_llc_obs::span!("tape_replay_batch");
         for system in systems {
             assert_eq!(
                 tape.cores(),

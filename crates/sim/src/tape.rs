@@ -527,7 +527,10 @@ impl OutcomeTape {
     /// and memoized: a warm batched matrix replays a cached tape many
     /// times but unpacks it exactly once.
     pub fn decoded(&self) -> &DecodedTape {
-        self.decoded.get_or_init(|| DecodedTape::decode(self))
+        self.decoded.get_or_init(|| {
+            let _span = nvm_llc_obs::span!("tape_decode");
+            DecodedTape::decode(self)
+        })
     }
 
     /// Per-event records.
@@ -857,6 +860,83 @@ pub mod cache {
     static RAW_BYTES: AtomicU64 = AtomicU64::new(0);
     static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
+    /// The same counters, mirrored into the process-wide [`nvm_llc_obs`]
+    /// registry (plus a residency gauge) so `/metricsz` and `/statsz`
+    /// expose them without a bespoke snapshot path.
+    pub mod metrics {
+        use nvm_llc_obs::metrics::{counter, gauge, Counter, Gauge};
+
+        /// `nvmllc_tape_cache_hits_total`
+        pub fn hits() -> &'static Counter {
+            counter(
+                "nvmllc_tape_cache_hits_total",
+                "Tape cache fetches served by an already-installed slot.",
+            )
+        }
+
+        /// `nvmllc_tape_cache_misses_total`
+        pub fn misses() -> &'static Counter {
+            counter(
+                "nvmllc_tape_cache_misses_total",
+                "Tape cache fetches that found no resident tape.",
+            )
+        }
+
+        /// `nvmllc_tape_cache_store_hits_total`
+        pub fn store_hits() -> &'static Counter {
+            counter(
+                "nvmllc_tape_cache_store_hits_total",
+                "Tape cache misses satisfied by decoding a persisted tape \
+                 instead of re-running the functional pass.",
+            )
+        }
+
+        /// `nvmllc_tape_cache_evictions_total`
+        pub fn evictions() -> &'static Counter {
+            counter(
+                "nvmllc_tape_cache_evictions_total",
+                "Tapes evicted to stay under the residency byte budget.",
+            )
+        }
+
+        /// `nvmllc_tape_cache_resident_bytes`
+        pub fn resident_bytes() -> &'static Gauge {
+            gauge(
+                "nvmllc_tape_cache_resident_bytes",
+                "Encoded bytes of outcome tape currently resident.",
+            )
+        }
+
+        /// Pre-registers this module's metric inventory, spans included.
+        pub fn register() {
+            hits();
+            misses();
+            store_hits();
+            evictions();
+            resident_bytes();
+            for (name, help) in [
+                (
+                    "nvmllc_tape_record_seconds",
+                    "Wall time of the `tape_record` span.",
+                ),
+                (
+                    "nvmllc_tape_replay_seconds",
+                    "Wall time of the `tape_replay` span.",
+                ),
+                (
+                    "nvmllc_tape_replay_batch_seconds",
+                    "Wall time of the `tape_replay_batch` span.",
+                ),
+                (
+                    "nvmllc_tape_decode_seconds",
+                    "Wall time of the `tape_decode` span.",
+                ),
+            ] {
+                nvm_llc_obs::metrics::histogram(name, help);
+            }
+        }
+    }
+
     /// Counters describing the cache's effectiveness so far.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct CacheStats {
@@ -948,8 +1028,10 @@ pub mod cache {
         // single functional pass either way).
         if fresh {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            metrics::misses().inc();
         } else {
             HITS.fetch_add(1, Ordering::Relaxed);
+            metrics::hits().inc();
         }
         let tape = Arc::clone(slot.get_or_init(|| {
             if let Some(store) = store {
@@ -959,6 +1041,7 @@ pub mod cache {
                     .and_then(|payload| crate::persist::decode_tape(&payload))
                 {
                     STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                    metrics::store_hits().inc();
                     let tape = Arc::new(tape);
                     BYTES.fetch_add(tape.bytes() as u64, Ordering::Relaxed);
                     RAW_BYTES.fetch_add(tape.raw_bytes() as u64, Ordering::Relaxed);
@@ -989,6 +1072,7 @@ pub mod cache {
                 }
             }
             evict_over_budget(inner, Some(&key));
+            metrics::resident_bytes().set(inner.resident);
         }
         tape
     }
@@ -1008,6 +1092,7 @@ pub mod cache {
             let entry = inner.map.remove(&key).expect("victim key resident");
             inner.resident -= entry.bytes;
             EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            metrics::evictions().inc();
         }
     }
 
@@ -1017,6 +1102,7 @@ pub mod cache {
         let mut inner = inner().lock().expect("tape cache lock");
         inner.budget = bytes;
         evict_over_budget(&mut inner, None);
+        metrics::resident_bytes().set(inner.resident);
     }
 
     /// The current residency budget in bytes.
@@ -1030,6 +1116,7 @@ pub mod cache {
         let mut inner = inner().lock().expect("tape cache lock");
         inner.map.clear();
         inner.resident = 0;
+        metrics::resident_bytes().set(0);
     }
 
     /// Number of cached tape slots.

@@ -45,6 +45,91 @@ use std::sync::Mutex;
 
 pub mod wire;
 
+/// Process-wide store counters in the [`nvm_llc_obs`] registry.
+///
+/// A process can open several [`Store`]s; the per-instance
+/// [`StoreStats`] stay per-instance while these aggregate across all of
+/// them (the daemon opens exactly one, so there they coincide).
+pub mod metrics {
+    use nvm_llc_obs::metrics::{counter, gauge, Counter, Gauge};
+
+    /// `nvmllc_store_hits_total`
+    pub fn hits() -> &'static Counter {
+        counter(
+            "nvmllc_store_hits_total",
+            "Store reads that returned a valid payload.",
+        )
+    }
+
+    /// `nvmllc_store_misses_total`
+    pub fn misses() -> &'static Counter {
+        counter(
+            "nvmllc_store_misses_total",
+            "Store reads that found no usable record (corrupt included).",
+        )
+    }
+
+    /// `nvmllc_store_corrupt_total`
+    pub fn corrupt() -> &'static Counter {
+        counter(
+            "nvmllc_store_corrupt_total",
+            "Records rejected by validation and deleted for recompute.",
+        )
+    }
+
+    /// `nvmllc_store_insertions_total`
+    pub fn insertions() -> &'static Counter {
+        counter(
+            "nvmllc_store_insertions_total",
+            "Records written and renamed into place.",
+        )
+    }
+
+    /// `nvmllc_store_evictions_total`
+    pub fn evictions() -> &'static Counter {
+        counter(
+            "nvmllc_store_evictions_total",
+            "Records deleted to stay under the byte budget.",
+        )
+    }
+
+    /// `nvmllc_store_bytes_read_total`
+    pub fn bytes_read() -> &'static Counter {
+        counter(
+            "nvmllc_store_bytes_read_total",
+            "Payload bytes returned by store hits.",
+        )
+    }
+
+    /// `nvmllc_store_bytes_written_total`
+    pub fn bytes_written() -> &'static Counter {
+        counter(
+            "nvmllc_store_bytes_written_total",
+            "File bytes written by store insertions (header + payload).",
+        )
+    }
+
+    /// `nvmllc_store_resident_bytes`
+    pub fn resident_bytes() -> &'static Gauge {
+        gauge(
+            "nvmllc_store_resident_bytes",
+            "Record bytes currently indexed across open stores.",
+        )
+    }
+
+    /// Pre-registers the store's metric inventory.
+    pub fn register() {
+        hits();
+        misses();
+        corrupt();
+        insertions();
+        evictions();
+        bytes_read();
+        bytes_written();
+        resident_bytes();
+    }
+}
+
 /// Magic bytes opening every record file.
 const MAGIC: [u8; 4] = *b"NVLS";
 
@@ -275,6 +360,7 @@ impl Store {
             Ok(bytes) => bytes,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::misses().inc();
                 self.forget(key);
                 return None;
             }
@@ -282,14 +368,23 @@ impl Store {
         match validate_record(&bytes) {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics::hits().inc();
                 self.bytes_read
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                metrics::bytes_read().add(payload.len() as u64);
                 self.touch(key, bytes.len() as u64);
                 Some(payload.to_vec())
             }
             None => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::corrupt().inc();
+                metrics::misses().inc();
+                nvm_llc_obs::debug!(
+                    "store", "corrupt record deleted; caller will recompute";
+                    "key" => key.hex(),
+                    "bytes" => bytes.len(),
+                );
                 let _ = fs::remove_file(&path);
                 self.forget(key);
                 None
@@ -324,8 +419,10 @@ impl Store {
             return Err(e);
         }
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        metrics::insertions().inc();
         self.bytes_written
             .fetch_add(record.len() as u64, Ordering::Relaxed);
+        metrics::bytes_written().add(record.len() as u64);
         self.touch(key, record.len() as u64);
         self.evict_over_budget(Some(key));
         Ok(())
@@ -392,6 +489,7 @@ impl Store {
                 );
             }
         }
+        metrics::resident_bytes().set(index.resident);
     }
 
     /// Drops `key` from the index (its file is already gone or bad).
@@ -399,6 +497,7 @@ impl Store {
         let mut index = self.index.lock().expect("store index");
         if let Some(entry) = index.map.remove(key) {
             index.resident -= entry.bytes;
+            metrics::resident_bytes().set(index.resident);
         }
     }
 
@@ -423,6 +522,7 @@ impl Store {
             let _ = fs::remove_file(self.record_path(&key));
             self.forget(&key);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            metrics::evictions().inc();
         }
     }
 }

@@ -85,7 +85,51 @@ pub fn fetch(profile: &WorkloadProfile, seed: u64, accesses_per_thread: usize) -
     };
     // Phase 2: generate outside the map lock so distinct keys generate in
     // parallel; OnceLock serializes same-key racers onto one generation.
-    Arc::clone(slot.get_or_init(|| Arc::new(profile.generate(seed, accesses_per_thread))))
+    let mut fresh = false;
+    let trace = Arc::clone(slot.get_or_init(|| {
+        fresh = true;
+        let _span = nvm_llc_obs::span!("trace_generate");
+        Arc::new(profile.generate(seed, accesses_per_thread))
+    }));
+    if fresh {
+        metrics::misses().inc();
+    } else {
+        metrics::hits().inc();
+    }
+    trace
+}
+
+/// Process-wide counters for this cache, registered in the
+/// [`nvm_llc_obs`] registry.
+pub mod metrics {
+    use nvm_llc_obs::metrics::{counter, Counter};
+
+    /// `nvmllc_trace_cache_hits_total`
+    pub fn hits() -> &'static Counter {
+        counter(
+            "nvmllc_trace_cache_hits_total",
+            "Trace cache fetches served from an already generated trace.",
+        )
+    }
+
+    /// `nvmllc_trace_cache_misses_total`
+    pub fn misses() -> &'static Counter {
+        counter(
+            "nvmllc_trace_cache_misses_total",
+            "Trace cache fetches that ran the workload generator.",
+        )
+    }
+
+    /// Pre-registers this module's metrics so scrapes show zeros before
+    /// the first fetch.
+    pub fn register() {
+        hits();
+        misses();
+        nvm_llc_obs::metrics::histogram(
+            "nvmllc_trace_generate_seconds",
+            "Wall time of the `trace_generate` span.",
+        );
+    }
 }
 
 /// Drops every cached trace (cold-cache benchmarking; in-flight `Arc`s

@@ -148,3 +148,100 @@ fn warm_requests_survive_a_daemon_restart_via_the_store() {
     second.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `/metricsz` serves the whole registry in Prometheus text exposition
+/// format: every line is a `# HELP`, a `# TYPE`, or a parsable sample,
+/// and the inventory spans the evaluator, both caches, the store, and
+/// the server itself.
+#[test]
+fn metricsz_is_valid_prometheus_with_a_full_inventory() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    // Drive one evaluation so the serve/eval counters have moved.
+    let (status, _) = http::get(addr, "/eval?workload=lu&tech=Kang&accesses=4000").unwrap();
+    assert_eq!(status, 200);
+
+    let (status, body) = http::get(addr, "/metricsz").unwrap();
+    assert_eq!(status, 200);
+    let mut families = std::collections::HashSet::new();
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with("# HELP ") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown type: {line}"
+            );
+            families.insert(name.to_owned());
+        } else {
+            let (lhs, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+            let name = lhs.split('{').next().unwrap();
+            assert!(name.starts_with("nvmllc_"), "off-scheme name: {line}");
+        }
+    }
+    assert!(
+        families.len() >= 12,
+        "expected >= 12 metric families, got {}: {families:?}",
+        families.len()
+    );
+    for family in [
+        "nvmllc_eval_runs_total",
+        "nvmllc_eval_run_all_seconds",
+        "nvmllc_tape_cache_misses_total",
+        "nvmllc_tape_replay_batch_seconds",
+        "nvmllc_trace_cache_misses_total",
+        "nvmllc_store_hits_total",
+        "nvmllc_serve_requests_total",
+        "nvmllc_serve_handle_seconds",
+    ] {
+        assert!(families.contains(family), "missing {family}: {families:?}");
+    }
+    server.shutdown();
+}
+
+/// `/statsz` carries uptime, build info, cumulative per-status-class
+/// request counts, and the registry dump — appended after the original
+/// fields so existing consumers keep working.
+#[test]
+fn statsz_reports_uptime_build_info_and_status_classes() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, _) = http::get(addr, "/no-such-endpoint").unwrap();
+    assert_eq!(status, 404);
+
+    let (_, stats) = http::get(addr, "/statsz").unwrap();
+    let _uptime = field_after(&stats, "", "uptime_seconds");
+    assert!(stats.contains(&format!(
+        "\"build\":{{\"version\":\"{}\",\"git_hash\":\"",
+        env!("CARGO_PKG_VERSION")
+    )));
+    assert!(stats.contains("\"metrics\":{"), "registry dump missing");
+    assert!(
+        field_after(&stats, "\"requests_by_class\":", "4xx") >= 1,
+        "the 404 above must be counted: {stats}"
+    );
+    let ok_before = field_after(&stats, "\"requests_by_class\":", "2xx");
+
+    // The first /statsz response itself lands in the 2xx class.
+    let (_, stats) = http::get(addr, "/statsz").unwrap();
+    assert!(
+        field_after(&stats, "\"requests_by_class\":", "2xx") > ok_before,
+        "2xx class must keep counting: {stats}"
+    );
+    server.shutdown();
+}
