@@ -14,7 +14,8 @@
 //!   11 timing engines in lockstep).
 //!
 //! Acceptance bars: `warm_speedup_vs_direct >= 3` (the split),
-//! `batched_speedup_vs_per_tech >= 1` (batching never loses), and
+//! `batched_speedup_vs_per_tech >= 2` (the SoA chunk kernels; CI's
+//! bench-smoke job holds a tighter 4.4x floor on the same number), and
 //! `obs_overhead_pct <= 3` (spans and counters stay out of the hot
 //! path); CI fails the bench-smoke job outside any of them.
 
@@ -25,7 +26,10 @@ use nvm_llc::prelude::*;
 const BASE_ACCESSES: usize = 20_000;
 const SEED: u64 = 2019;
 const REPEATS: usize = 3;
-const OVERHEAD_REPEATS: usize = 5;
+// The chunk kernels shrank the warm matrix to a few milliseconds, so
+// the instrumented/uninstrumented ratio is sensitive to scheduler
+// noise; more interleaved rounds keep the best-of comparison stable.
+const OVERHEAD_REPEATS: usize = 8;
 
 fn best_of(repeats: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -91,12 +95,28 @@ fn main() {
         .threads(1)
         .batched(false);
 
+    // Span-backed phase attribution: the decode and chunk-kernel spans
+    // accumulate into the obs histograms; deltas around a timed section
+    // attribute its wall time to SoA decode vs. chunked replay.
+    let decode_span = nvm_llc::obs::metrics::histogram(
+        "nvmllc_tape_decode_seconds",
+        "Wall time of the `tape_decode` span.",
+    );
+    let chunk_span = nvm_llc::obs::metrics::histogram(
+        "nvmllc_tape_replay_chunk_seconds",
+        "Wall time of one batched-replay event chunk.",
+    );
+
     // Cold: the cache is emptied first, so each iteration pays one
     // functional pass per workload plus the batched replay.
+    let decode_s_before = decode_span.sum();
     let cold_ms = best_of(REPEATS, || {
         nvm_llc::sim::tape::cache::clear();
         std::hint::black_box(evaluator.run_all(&ws));
     });
+    // Every cold iteration re-records and re-decodes each workload's
+    // tape, so the decode span accumulated REPEATS matrices' worth.
+    let decode_ms = (decode_span.sum() - decode_s_before) * 1e3 / REPEATS as f64;
 
     // Warm, per-technology (PR 2's reference path): every geometry's
     // tape is already recorded; each of the 11 cells decodes the packed
@@ -107,10 +127,14 @@ fn main() {
     });
 
     // Warm, batched: one decode per workload drives all 11 timing
-    // engines in lockstep over the struct-of-arrays `DecodedTape`.
+    // engines chunk by chunk over the struct-of-arrays `DecodedTape`.
+    let chunk_s_before = chunk_span.sum();
     let batched_ms = best_of(REPEATS, || {
         std::hint::black_box(evaluator.run_all(&ws));
     });
+    // Time spent inside the chunked kernels per warm matrix (the rest of
+    // `replay_batched_ms` is evaluator bookkeeping and finalization).
+    let replay_chunked_ms = (chunk_span.sum() - chunk_s_before) * 1e3 / REPEATS as f64;
 
     // Observability overhead: the identical warm batched matrix with
     // every span inert (`obs::set_enabled(false)`) against the
@@ -141,19 +165,22 @@ fn main() {
     let batched_speedup = warm_ms / batched_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"replay_batched_ms\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2},\n    \"batched_speedup_vs_per_tech\": {:.2}\n  }},\n  \"obs_overhead_pct\": {:.2},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {},\n    \"raw_bytes\": {},\n    \"evictions\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {},\n    \"chunk_events\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"decode_ms\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"replay_batched_ms\": {:.3},\n    \"replay_chunked_ms\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2},\n    \"batched_speedup_vs_per_tech\": {:.2}\n  }},\n  \"obs_overhead_pct\": {:.2},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {},\n    \"raw_bytes\": {},\n    \"evictions\": {}\n  }}\n}}\n",
         ws.len(),
         models.len(),
         BASE_ACCESSES,
         REPEATS,
+        nvm_llc::sim::REPLAY_CHUNK_EVENTS,
         record_ms,
         replay_ms,
         fused_ms,
+        decode_ms,
         replay_speedup,
         direct_ms,
         cold_ms,
         warm_ms,
         batched_ms,
+        replay_chunked_ms,
         cold_speedup,
         warm_speedup,
         batched_speedup,
@@ -176,9 +203,10 @@ fn main() {
          (got {warm_speedup:.2}x)"
     );
     assert!(
-        batched_speedup >= 1.0,
-        "batched replay must never be slower than per-technology replay \
-         (got {batched_speedup:.2}x)"
+        batched_speedup >= 2.0,
+        "the SoA chunk kernels must keep batched replay well ahead of \
+         per-technology replay (got {batched_speedup:.2}x; CI holds a \
+         tighter 4.4x floor)"
     );
     assert!(
         obs_overhead_pct <= 3.0,

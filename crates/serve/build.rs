@@ -1,0 +1,58 @@
+//! Bakes the git commit into the daemon's `/statsz` build info.
+//!
+//! Resolution order:
+//!
+//! 1. `NVM_LLC_GIT_HASH` in the build environment — CI exports the
+//!    exact commit it checked out, which wins over anything the local
+//!    work tree says (e.g. builds from an exported source tarball that
+//!    happens to sit inside an unrelated repository).
+//! 2. `git rev-parse --short HEAD` — developer builds from a clone get
+//!    the real commit instead of the old `unknown` placeholder.
+//! 3. `"unknown"` — no env var and no usable git (tarball builds).
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-env-changed=NVM_LLC_GIT_HASH");
+    let hash = std::env::var("NVM_LLC_GIT_HASH")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .or_else(git_head_hash)
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=NVM_LLC_BUILD_GIT_HASH={hash}");
+}
+
+/// The work tree's abbreviated HEAD commit, when building from a clone.
+fn git_head_hash() -> Option<String> {
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    // Rebuild when HEAD moves (new commit, branch switch). Best-effort:
+    // if the git dir cannot be resolved, the hash simply goes stale
+    // until the next full rebuild.
+    if let Ok(out) = Command::new("git")
+        .args(["rev-parse", "--git-dir"])
+        .current_dir(&manifest_dir)
+        .output()
+    {
+        if out.status.success() {
+            if let Ok(git_dir) = String::from_utf8(out.stdout) {
+                let git_dir = std::path::Path::new(&manifest_dir).join(git_dir.trim());
+                println!("cargo:rerun-if-changed={}", git_dir.join("HEAD").display());
+            }
+        }
+    }
+    let out = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(&manifest_dir)
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let hash = String::from_utf8(out.stdout).ok()?;
+    let hash = hash.trim();
+    if hash.is_empty() {
+        None
+    } else {
+        Some(hash.to_owned())
+    }
+}

@@ -805,12 +805,12 @@ fn render_statsz(shared: &Shared) -> String {
 /// Crate version baked into `/statsz` build info.
 const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
 
-/// Git commit baked in at build time when the `NVM_LLC_GIT_HASH`
-/// environment variable was set (CI exports it); `unknown` otherwise.
-const BUILD_GIT_HASH: &str = match option_env!("NVM_LLC_GIT_HASH") {
-    Some(hash) => hash,
-    None => "unknown",
-};
+/// Git commit baked in at build time by `build.rs`: the
+/// `NVM_LLC_GIT_HASH` environment variable when set (CI exports the
+/// checked-out commit), otherwise `git rev-parse --short HEAD` from the
+/// work tree, falling back to `unknown` only when neither is available
+/// (e.g. a source-tarball build).
+const BUILD_GIT_HASH: &str = env!("NVM_LLC_BUILD_GIT_HASH");
 
 /// Refreshes the gauges that are cheaper to set at scrape time than to
 /// maintain on every transition.

@@ -44,7 +44,9 @@ pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult, HybridStats};
 pub use result::{SimResult, SimStats};
 pub use runner::{Evaluator, MatrixEntry, MatrixRow};
 pub use system::System;
-pub use tape::{DecodedEvent, DecodedTape, EventRecord, Outcome, OutcomeTape, TapeKey};
+pub use tape::{
+    DecodedEvent, DecodedTape, EventRecord, Outcome, OutcomeTape, TapeKey, REPLAY_CHUNK_EVENTS,
+};
 pub use techniques::{DeadBlockPredictor, WriteMode};
 
 #[cfg(test)]

@@ -357,7 +357,7 @@ impl Evaluator {
             for (wi, trace) in traces.iter().enumerate() {
                 for (mi, system) in systems.iter().enumerate() {
                     if let Some(result) = store
-                        .get(&crate::persist::result_store_key(system, trace))
+                        .get_mapped(&crate::persist::result_store_key(system, trace))
                         .and_then(|payload| crate::persist::decode_result(&payload))
                     {
                         metrics::result_tier_hits().inc();

@@ -275,6 +275,335 @@ impl TimingEngine {
             let _ = dram.access(block, lane.cycles);
         }
     }
+
+    /// Whether [`Self::apply_chunk_simple`] computes exactly what
+    /// [`Self::apply`] would for this engine: with off-critical-path LLC
+    /// writes every `write_timing` call is a no-op, and with the analytic
+    /// DRAM model no side-stream *value* is ever read — `record_wear`
+    /// and the DRAM cursor only advance position (which the chunk bases
+    /// pre-encode), so the whole side machinery drops out. The caller
+    /// must additionally check that no endurance tracker is attached.
+    fn chunk_kernel_is_simple(&self) -> bool {
+        self.write_policy == LlcWritePolicy::OffCriticalPath && self.dram.is_none()
+    }
+
+    /// One chunk of the batched replay for the simple configuration
+    /// class (see [`Self::chunk_kernel_is_simple`]): a branch-light pass
+    /// over the decoded lanes of [`crate::tape::DecodedTape`].
+    ///
+    /// Bit-identical to feeding the same events through [`Self::apply`]:
+    /// the per-event floating-point additions happen in the same order on
+    /// the same values — `gaps_f[i]` is the exact `f64` of the `u32` gap,
+    /// and the hoisted per-event constants (`llc_read_cycles *
+    /// LLC_HIT_EXPOSURE`, `llc_tag_cycles + dram_cycles`) are the very
+    /// products/sums `apply` recomputes identically per event.
+    fn apply_chunk_simple(&mut self, gaps: &[u32], gaps_f: &[f64], cores: &[u8], flags: &[u8]) {
+        debug_assert!(self.chunk_kernel_is_simple());
+        debug_assert_eq!(gaps.len(), gaps_f.len());
+        debug_assert_eq!(gaps.len(), cores.len());
+        debug_assert_eq!(gaps.len(), flags.len());
+        let base_cpi = self.base_cpi;
+        let l2_cycles = self.l2_cycles;
+        let llc_hit_cycles = self.llc_read_cycles * LLC_HIT_EXPOSURE;
+        let miss_open_cycles = self.llc_tag_cycles + self.dram_cycles;
+        let transfer_cycles = self.dram_transfer_cycles;
+        let (rob, mshrs) = (self.rob, self.mshrs);
+        if let [lane] = self.lanes.as_mut_slice() {
+            // Single-core tape: the lane state lives in registers for the
+            // whole chunk instead of round-tripping through memory.
+            let (mut cycles, mut instructions, mut shadow_end, mut shadow_misses) = (
+                lane.cycles,
+                lane.instructions,
+                lane.miss_shadow_end,
+                lane.shadow_misses,
+            );
+            for ((&gap, &gap_f), &flag) in gaps.iter().zip(gaps_f).zip(flags) {
+                let ev = DecodedEvent {
+                    gap,
+                    core: 0,
+                    flags: flag,
+                };
+                cycles += gap_f * base_cpi + base_cpi;
+                instructions += u64::from(gap) + 1;
+                match ev.outcome() {
+                    Outcome::L1Hit => {}
+                    Outcome::L2Hit => {
+                        if !ev.is_write() {
+                            cycles += l2_cycles;
+                        }
+                    }
+                    Outcome::LlcHit => {
+                        if !ev.is_write() {
+                            cycles += llc_hit_cycles;
+                        }
+                    }
+                    Outcome::LlcMiss => {
+                        if !ev.is_write() {
+                            if instructions >= shadow_end || shadow_misses >= mshrs {
+                                cycles += miss_open_cycles;
+                                shadow_end = instructions + rob;
+                                shadow_misses = 1;
+                            } else {
+                                cycles += transfer_cycles;
+                                shadow_misses += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            lane.cycles = cycles;
+            lane.instructions = instructions;
+            lane.miss_shadow_end = shadow_end;
+            lane.shadow_misses = shadow_misses;
+        } else {
+            for (((&gap, &gap_f), &flag), &core) in gaps.iter().zip(gaps_f).zip(flags).zip(cores) {
+                let ev = DecodedEvent {
+                    gap,
+                    core,
+                    flags: flag,
+                };
+                let lane = &mut self.lanes[usize::from(core)];
+                lane.cycles += gap_f * base_cpi + base_cpi;
+                lane.instructions += u64::from(gap) + 1;
+                match ev.outcome() {
+                    Outcome::L1Hit => {}
+                    Outcome::L2Hit => {
+                        if !ev.is_write() {
+                            lane.cycles += l2_cycles;
+                        }
+                    }
+                    Outcome::LlcHit => {
+                        if !ev.is_write() {
+                            lane.cycles += llc_hit_cycles;
+                        }
+                    }
+                    Outcome::LlcMiss => {
+                        if !ev.is_write() {
+                            if lane.instructions >= lane.miss_shadow_end
+                                || lane.shadow_misses >= mshrs
+                            {
+                                lane.cycles += miss_open_cycles;
+                                lane.miss_shadow_end = lane.instructions + rob;
+                                lane.shadow_misses = 1;
+                            } else {
+                                lane.cycles += transfer_cycles;
+                                lane.shadow_misses += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All simple single-lane engines of one batched replay, restructured as
+/// parallel per-engine constant and state lanes so a chunk pass updates
+/// every engine per event with one outcome dispatch and a handful of
+/// vectorizable inner loops.
+///
+/// Rationale: a lone engine's chunk pass is bound by per-event overhead
+/// (outcome dispatch plus the serial `cycles` dependency chain), so
+/// running the bank engine-by-engine pays that bound once per engine per
+/// event. Event-major over engine lanes pays the dispatch once per event
+/// for the whole bank, and the per-engine `cycles += gap_f * cpi[k] +
+/// cpi[k]` updates are independent across `k` — a straight-line FMA loop
+/// the compiler can vectorize.
+///
+/// Bit-identity with [`TimingEngine::apply`] holds per engine: each
+/// engine's floating-point additions happen in the same order on the
+/// same values (vector lanes never reassociate within one engine's
+/// chain). The single `instructions` counter is sound because the
+/// instruction count is tape-derived — identical across every
+/// single-lane engine — and each engine's shadow-window test reads it at
+/// the same point `apply` would.
+struct SimpleBank {
+    /// Slot of each bank member in the caller's engine vector.
+    slots: Vec<usize>,
+    // Per-engine hoisted constants, in `slots` order.
+    cpi: Vec<f64>,
+    l2_cycles: Vec<f64>,
+    llc_hit_cycles: Vec<f64>,
+    miss_open_cycles: Vec<f64>,
+    transfer_cycles: Vec<f64>,
+    rob: Vec<u64>,
+    mshrs: Vec<u32>,
+    // Per-engine lane state, in `slots` order.
+    cycles: Vec<f64>,
+    shadow_end: Vec<u64>,
+    shadow_misses: Vec<u32>,
+    /// Shared instruction counter (identical for every member).
+    instructions: u64,
+}
+
+impl SimpleBank {
+    /// Collects every engine that can run in the bank: the simple
+    /// configuration class ([`TimingEngine::chunk_kernel_is_simple`]),
+    /// no endurance tracker, and a single-core tape
+    /// ([`DecodedTape::is_single_core`]) so only timing lane 0 is ever
+    /// touched — which is also what makes the shared instruction
+    /// counter sound. `single_core` false yields an empty bank.
+    fn gather(bank: &[(TimingEngine, Option<EnduranceTracker>)], single_core: bool) -> SimpleBank {
+        let mut this = SimpleBank {
+            slots: Vec::new(),
+            cpi: Vec::new(),
+            l2_cycles: Vec::new(),
+            llc_hit_cycles: Vec::new(),
+            miss_open_cycles: Vec::new(),
+            transfer_cycles: Vec::new(),
+            rob: Vec::new(),
+            mshrs: Vec::new(),
+            cycles: Vec::new(),
+            shadow_end: Vec::new(),
+            shadow_misses: Vec::new(),
+            instructions: 0,
+        };
+        if !single_core {
+            return this;
+        }
+        for (slot, (engine, tracker)) in bank.iter().enumerate() {
+            if !(engine.chunk_kernel_is_simple() && tracker.is_none()) {
+                continue;
+            }
+            this.slots.push(slot);
+            this.cpi.push(engine.base_cpi);
+            this.l2_cycles.push(engine.l2_cycles);
+            this.llc_hit_cycles
+                .push(engine.llc_read_cycles * LLC_HIT_EXPOSURE);
+            this.miss_open_cycles
+                .push(engine.llc_tag_cycles + engine.dram_cycles);
+            this.transfer_cycles.push(engine.dram_transfer_cycles);
+            this.rob.push(engine.rob);
+            this.mshrs.push(engine.mshrs);
+            let lane = &engine.lanes[0];
+            this.cycles.push(lane.cycles);
+            this.shadow_end.push(lane.miss_shadow_end);
+            this.shadow_misses.push(lane.shadow_misses);
+            this.instructions = lane.instructions;
+        }
+        // Pad to a multiple of the narrowest block width with inert
+        // lanes (all-zero constants keep their cycles at `0.0 +
+        // gap_f * 0.0 + 0.0` forever) so [`Self::apply_chunk`] can run
+        // exact constant-width blocks: one wide pass beats several
+        // narrow ones because the per-event scaffolding (flag decode,
+        // class dispatch) is paid per pass, not per lane.
+        while !this.cycles.len().is_multiple_of(4) {
+            this.cpi.push(0.0);
+            this.l2_cycles.push(0.0);
+            this.llc_hit_cycles.push(0.0);
+            this.miss_open_cycles.push(0.0);
+            this.transfer_cycles.push(0.0);
+            this.rob.push(0);
+            this.mshrs.push(0);
+            this.cycles.push(0.0);
+            this.shadow_end.push(0);
+            this.shadow_misses.push(0);
+        }
+        this
+    }
+
+    /// Advances every bank member over one chunk of decoded lanes.
+    ///
+    /// Members run in constant-width blocks (widest available first):
+    /// a compile-time width fully unrolls the per-engine loops and
+    /// keeps the block state in registers or compile-time stack slots,
+    /// which a dynamic-width loop over the backing vectors never
+    /// achieves. The bank is padded to a multiple of four, so only the
+    /// 4/8/12/16 instantiations exist; each block streams the whole
+    /// chunk, which stays resident in L1 across blocks.
+    fn apply_chunk(&mut self, gaps: &[u32], gaps_f: &[f64], flags: &[u8]) {
+        debug_assert_eq!(gaps.len(), gaps_f.len());
+        debug_assert_eq!(gaps.len(), flags.len());
+        if self.slots.is_empty() {
+            return;
+        }
+        let padded = self.cycles.len();
+        let mut base = 0;
+        while padded - base > 16 {
+            self.apply_chunk_block::<16>(base, gaps, gaps_f, flags);
+            base += 16;
+        }
+        match padded - base {
+            4 => self.apply_chunk_block::<4>(base, gaps, gaps_f, flags),
+            8 => self.apply_chunk_block::<8>(base, gaps, gaps_f, flags),
+            12 => self.apply_chunk_block::<12>(base, gaps, gaps_f, flags),
+            16 => self.apply_chunk_block::<16>(base, gaps, gaps_f, flags),
+            _ => unreachable!("bank padded to a multiple of 4"),
+        }
+        // Every block advanced an identical tape-derived count; commit
+        // it once.
+        let advanced: u64 = gaps.iter().map(|&g| u64::from(g) + 1).sum();
+        self.instructions += advanced;
+    }
+
+    /// One `W`-engine block of [`Self::apply_chunk`].
+    ///
+    /// The event loop is branchless except for LLC read misses: the
+    /// class/write bits select which per-engine additive term joins the
+    /// gap cycles (`zeros` for classes that add nothing — `x + 0.0` is
+    /// bit-exact for the non-negative cycle counts), and the
+    /// shadow-window update uses select-style assignments because the
+    /// open-vs-shadowed decision flips data-dependently per lane. Every
+    /// selected addend is the exact value [`TimingEngine::apply`]'s
+    /// branchy form would add, in the same order, so rounding is
+    /// unchanged.
+    fn apply_chunk_block<const W: usize>(
+        &mut self,
+        base: usize,
+        gaps: &[u32],
+        gaps_f: &[f64],
+        flags: &[u8],
+    ) {
+        let cpi: [f64; W] = core::array::from_fn(|j| self.cpi[base + j]);
+        let l2: [f64; W] = core::array::from_fn(|j| self.l2_cycles[base + j]);
+        let hit: [f64; W] = core::array::from_fn(|j| self.llc_hit_cycles[base + j]);
+        let open: [f64; W] = core::array::from_fn(|j| self.miss_open_cycles[base + j]);
+        let transfer: [f64; W] = core::array::from_fn(|j| self.transfer_cycles[base + j]);
+        let rob: [u64; W] = core::array::from_fn(|j| self.rob[base + j]);
+        let mshrs: [u32; W] = core::array::from_fn(|j| self.mshrs[base + j]);
+        let zeros = [0.0f64; W];
+        let mut cycles: [f64; W] = core::array::from_fn(|j| self.cycles[base + j]);
+        let mut shadow_end: [u64; W] = core::array::from_fn(|j| self.shadow_end[base + j]);
+        let mut shadow_misses: [u32; W] = core::array::from_fn(|j| self.shadow_misses[base + j]);
+        let class_add: [&[f64; W]; 4] = [&zeros, &l2, &hit, &zeros];
+        let mut instructions = self.instructions;
+        for ((&gap, &gap_f), &flag) in gaps.iter().zip(gaps_f).zip(flags) {
+            instructions += u64::from(gap) + 1;
+            let write = flag & 1 != 0;
+            let class = usize::from((flag >> 1) & 0b11);
+            let extra = if write { &zeros } else { class_add[class] };
+            for k in 0..W {
+                let gap_cycles = cycles[k] + (gap_f * cpi[k] + cpi[k]);
+                cycles[k] = gap_cycles + extra[k];
+            }
+            if class == 3 && !write {
+                for k in 0..W {
+                    let opens = instructions >= shadow_end[k] || shadow_misses[k] >= mshrs[k];
+                    cycles[k] += if opens { open[k] } else { transfer[k] };
+                    shadow_end[k] = if opens {
+                        instructions + rob[k]
+                    } else {
+                        shadow_end[k]
+                    };
+                    shadow_misses[k] = if opens { 1 } else { shadow_misses[k] + 1 };
+                }
+            }
+        }
+        self.cycles[base..base + W].copy_from_slice(&cycles);
+        self.shadow_end[base..base + W].copy_from_slice(&shadow_end);
+        self.shadow_misses[base..base + W].copy_from_slice(&shadow_misses);
+    }
+
+    /// Writes the accumulated lane state back into the member engines.
+    fn scatter(&self, bank: &mut [(TimingEngine, Option<EnduranceTracker>)]) {
+        for (k, &slot) in self.slots.iter().enumerate() {
+            let lane = &mut bank[slot].0.lanes[0];
+            lane.cycles = self.cycles[k];
+            lane.instructions = self.instructions;
+            lane.miss_shadow_end = self.shadow_end[k];
+            lane.shadow_misses = self.shadow_misses[k];
+        }
+    }
 }
 
 /// Feeds the next endurance-stream block to the tracker (when enabled).
@@ -471,30 +800,53 @@ impl System {
             .iter()
             .map(|s| (TimingEngine::new(&s.config), s.endurance_tracker()))
             .collect();
-        // Lockstep, event-major: advancing every engine on the same event
-        // before moving on keeps the decoded lanes and side slices in L1
-        // and lets the engines' independent accumulation chains overlap,
-        // which is where the batched speedup comes from — engine-major
-        // would serialize each engine's dependency chain over the whole
-        // tape. One pair of running cursors replays the side streams for
-        // all engines, since every engine consumes identical entries.
-        let (mut wear_pos, mut dram_pos) = (0usize, 0usize);
-        let (wear_blocks, dram_blocks) = (decoded.wear_blocks(), decoded.dram_blocks());
-        for &ev in decoded.events() {
-            let (wear_n, dram_n) = ev.side_counts();
-            let wear = &wear_blocks[wear_pos..wear_pos + wear_n as usize];
-            let dram = &dram_blocks[dram_pos..dram_pos + dram_n as usize];
-            wear_pos += wear_n as usize;
-            dram_pos += dram_n as usize;
-            for (engine, tracker) in bank.iter_mut() {
-                engine.apply(
-                    ev,
-                    &mut wear.iter().copied(),
-                    &mut dram.iter().copied(),
-                    tracker,
-                );
+        // Chunk-major, engine-inner: every engine streams one fixed-size
+        // block of the decoded lanes ([`REPLAY_CHUNK_EVENTS`]) before any
+        // engine moves to the next, so a chunk's lanes stay resident in
+        // L1 across the whole bank while each engine's pass over it is a
+        // tight, branch-light accumulation loop (lane state in
+        // registers). Pure engine-major would stream the full tape per
+        // engine (cold lanes every pass); pure event-major pays per-event
+        // dispatch for every engine. The decode pass pre-recorded the
+        // side-stream cursor positions at each chunk boundary, so every
+        // engine starts a chunk at the same offsets without rewalking the
+        // prefix — every engine consumes identical side entries.
+        // The dominant configuration class (off-critical-path writes,
+        // analytic DRAM, no endurance tracking) never reads a
+        // side-stream value — only the cursors would advance, and chunk
+        // bases already encode those — so on single-core tapes those
+        // engines fuse into one event-major `SimpleBank` pass per chunk:
+        // one outcome dispatch per event drives vectorizable per-engine
+        // lane updates. Everything else streams the chunk on its own —
+        // multi-core simple engines through the scalar simple kernel,
+        // the rest through the full `apply` path with side streams.
+        let mut simple_bank = SimpleBank::gather(&bank, decoded.is_single_core());
+        let singles: Vec<usize> = (0..bank.len())
+            .filter(|slot| !simple_bank.slots.contains(slot))
+            .collect();
+        for chunk in 0..decoded.num_chunks() {
+            let _span = nvm_llc_obs::span!("tape_replay_chunk");
+            let range = decoded.chunk_range(chunk);
+            let (wear_base, dram_base) = decoded.chunk_side_base(chunk);
+            let gaps = &decoded.gap_lane()[range.clone()];
+            let gaps_f = &decoded.gap_f64_lane()[range.clone()];
+            let cores = &decoded.core_lane()[range.clone()];
+            let flags = &decoded.flag_lane()[range.clone()];
+            simple_bank.apply_chunk(gaps, gaps_f, flags);
+            for &slot in &singles {
+                let (engine, tracker) = &mut bank[slot];
+                if engine.chunk_kernel_is_simple() && tracker.is_none() {
+                    engine.apply_chunk_simple(gaps, gaps_f, cores, flags);
+                } else {
+                    let mut wear = decoded.wear_blocks()[wear_base..].iter().copied();
+                    let mut dram = decoded.dram_blocks()[dram_base..].iter().copied();
+                    for i in range.clone() {
+                        engine.apply(decoded.event(i), &mut wear, &mut dram, tracker);
+                    }
+                }
             }
         }
+        simple_bank.scatter(&mut bank);
         systems
             .iter()
             .zip(bank)
@@ -1526,6 +1878,60 @@ mod tests {
                     system = system.with_endurance_tracking(WearPolicy::RotateXor { period: 500 });
                 }
                 systems.push(system);
+            }
+            let tape = systems[0].record(&trace);
+            let refs: Vec<&System> = systems.iter().collect();
+            let batched = System::replay_batch(&refs, &tape);
+            proptest::prop_assert_eq!(batched.len(), systems.len());
+            for (system, batched) in systems.iter().zip(&batched) {
+                proptest::prop_assert_eq!(batched, &system.replay(&tape));
+            }
+        }
+
+        /// Chunk-tail coverage for the batched kernels: the decoded
+        /// lanes are walked in [`crate::tape::REPLAY_CHUNK_EVENTS`]
+        /// blocks and the `SimpleBank` pads its engine set, so the
+        /// equivalence is pinned exactly at the boundaries — an empty
+        /// tape, a single event, one chunk ± one event, and a ragged
+        /// multi-chunk tail — across random technology subsets and
+        /// thread counts (multi-threaded traces route around the
+        /// single-core bank entirely). Warmup is zero so every access
+        /// is a replayed event and the counts land on the boundaries
+        /// exactly.
+        #[test]
+        fn replay_batch_matches_at_chunk_boundaries(
+            seed in 0u64..1000,
+            boundary_idx in 0usize..6,
+            subset in 1u32..2048,
+            threads in 1u8..5,
+        ) {
+            use nvm_llc_trace::{Suite, WorkloadProfile};
+            const CHUNK: usize = crate::tape::REPLAY_CHUNK_EVENTS;
+            let n = [0, 1, CHUNK - 1, CHUNK, CHUNK + 1, 2 * CHUNK + 7][boundary_idx];
+            let w = WorkloadProfile::builder("prop", Suite::Npb)
+                .footprint_blocks(1 << 12)
+                .read_fraction(0.7)
+                .threads(threads)
+                .build();
+            let trace = w.generate(seed, n);
+            let models = reference::fixed_capacity();
+            let mut systems = Vec::new();
+            for (i, model) in models.iter().enumerate() {
+                if subset & (1 << i) == 0 {
+                    continue;
+                }
+                // Alternate timing knobs so every tape drives both the
+                // banked simple kernel and the per-event fallback.
+                let mut config = ArchConfig::gainestown(model.clone());
+                if i % 3 == 1 {
+                    config = config
+                        .with_llc_write_policy(LlcWritePolicy::Blocking)
+                        .with_detailed_dram();
+                }
+                if i % 4 == 2 {
+                    config = config.with_mshrs(4);
+                }
+                systems.push(System::new(config).with_warmup(0.0));
             }
             let tape = systems[0].record(&trace);
             let refs: Vec<&System> = systems.iter().collect();

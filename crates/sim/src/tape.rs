@@ -587,66 +587,101 @@ impl OutcomeTape {
     }
 }
 
-/// Flat decode of an [`OutcomeTape`]: every record unpacked once into a
-/// dense [`DecodedEvent`] array, and the varint side streams decoded
-/// back to flat `u64` block arrays.
+/// Events per replay chunk: the batched replay processes the decoded
+/// lanes in fixed-size blocks of this many events (see
+/// [`System::replay_batch`](crate::system::System::replay_batch)). At
+/// 1024 events a chunk's hot lanes (`f64` gap + `u32` gap + flag + core)
+/// total ~14 KiB — comfortably inside one L1 data cache while every
+/// engine in the bank streams over it.
+pub const REPLAY_CHUNK_EVENTS: usize = 1024;
+
+/// Flat decode of an [`OutcomeTape`] in structure-of-arrays form: every
+/// record unpacked once into parallel per-field lanes, and the varint
+/// side streams decoded back to flat `u64` block arrays.
 ///
 /// Built once per technology *group* by
 /// [`System::replay_batch`](crate::system::System::replay_batch): the
 /// record unpacking and varint decoding that a per-technology replay
 /// repeats for every configuration happen a single time, and each timing
-/// engine then streams the same pre-decoded arrays — event `i` consumes
-/// side entries in exactly the order `TimingEngine::apply` emits them,
-/// so a running iterator per engine replays the cursors for free.
+/// engine then streams the same pre-decoded lanes — event `i` consumes
+/// side entries in exactly the order `TimingEngine::apply` emits them.
+///
+/// The lanes are parallel arrays indexed by event: `gap_lane` (non-memory
+/// instructions), `gap_f64_lane` (the same gaps pre-converted to `f64`,
+/// hoisting the int→float conversion the timing math would otherwise
+/// repeat per technology — `u32 → f64` is exact, so the replay arithmetic
+/// is bit-identical), `core_lane`, and `flag_lane` (the packed
+/// [`DecodedEvent`] flag byte). `chunk_bases` records the side-stream
+/// cursor positions at every [`REPLAY_CHUNK_EVENTS`] boundary so a
+/// chunked replay can start any chunk without rewalking the prefix.
 #[derive(Debug, Clone, Default)]
 pub struct DecodedTape {
-    events: Vec<DecodedEvent>,
+    gap_lane: Vec<u32>,
+    gap_f64_lane: Vec<f64>,
+    core_lane: Vec<u8>,
+    flag_lane: Vec<u8>,
     wear_blocks: Vec<u64>,
     dram_blocks: Vec<u64>,
+    /// `(wear, dram)` side-stream offsets at the start of each chunk,
+    /// with one trailing entry holding the stream totals.
+    chunk_bases: Vec<(usize, usize)>,
     stats: SimStats,
     cores: u32,
+    /// Whether every event ran on core 0. A single-threaded workload
+    /// under a multi-core config exercises only timing lane 0, so a
+    /// replay may treat the engines as single-lane (the batched bank
+    /// kernel depends on this).
+    single_core: bool,
 }
 
 impl DecodedTape {
-    /// Decodes `tape` once into flat-array form.
+    /// Decodes `tape` once into flat-lane form.
     pub fn decode(tape: &OutcomeTape) -> DecodedTape {
-        let decoded = DecodedTape {
-            events: tape.records().iter().map(|rec| rec.decode()).collect(),
+        let n = tape.len();
+        let mut decoded = DecodedTape {
+            gap_lane: Vec::with_capacity(n),
+            gap_f64_lane: Vec::with_capacity(n),
+            core_lane: Vec::with_capacity(n),
+            flag_lane: Vec::with_capacity(n),
             wear_blocks: tape.endurance_blocks().collect(),
             dram_blocks: tape.dram_blocks().collect(),
+            chunk_bases: Vec::with_capacity(n.div_ceil(REPLAY_CHUNK_EVENTS) + 1),
             stats: tape.stats().clone(),
             cores: tape.cores(),
+            single_core: true,
         };
+        let (mut wear_pos, mut dram_pos) = (0usize, 0usize);
+        for (i, rec) in tape.records().iter().enumerate() {
+            let ev = rec.decode();
+            if i % REPLAY_CHUNK_EVENTS == 0 {
+                decoded.chunk_bases.push((wear_pos, dram_pos));
+            }
+            let (wear_n, dram_n) = ev.side_counts();
+            wear_pos += wear_n as usize;
+            dram_pos += dram_n as usize;
+            decoded.gap_lane.push(ev.gap);
+            decoded.gap_f64_lane.push(f64::from(ev.gap));
+            decoded.core_lane.push(ev.core);
+            decoded.flag_lane.push(ev.flags);
+            decoded.single_core &= ev.core == 0;
+        }
+        decoded.chunk_bases.push((wear_pos, dram_pos));
         // Every side entry is claimed by exactly one event: the per-event
         // counts (mirroring `apply`'s early-outs) must sum to the stream
         // lengths, or replay cursors would drift between technologies.
-        debug_assert_eq!(
-            decoded
-                .events
-                .iter()
-                .map(|ev| ev.side_counts().0 as usize)
-                .sum::<usize>(),
-            decoded.wear_blocks.len()
-        );
-        debug_assert_eq!(
-            decoded
-                .events
-                .iter()
-                .map(|ev| ev.side_counts().1 as usize)
-                .sum::<usize>(),
-            decoded.dram_blocks.len()
-        );
+        debug_assert_eq!(wear_pos, decoded.wear_blocks.len());
+        debug_assert_eq!(dram_pos, decoded.dram_blocks.len());
         decoded
     }
 
     /// Post-warmup events on the tape.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.gap_lane.len()
     }
 
     /// Whether the tape holds no events.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.gap_lane.is_empty()
     }
 
     /// Core count the tape encodes.
@@ -654,14 +689,62 @@ impl DecodedTape {
         self.cores
     }
 
+    /// Whether every event ran on core 0 (single-threaded workload): a
+    /// replay then touches only timing lane 0 of each engine.
+    pub(crate) fn is_single_core(&self) -> bool {
+        self.single_core
+    }
+
     /// The functional statistics of the recorded run.
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 
-    /// The decoded event stream.
-    pub(crate) fn events(&self) -> &[DecodedEvent] {
-        &self.events
+    /// Event `i` reassembled into its flat-field form.
+    pub(crate) fn event(&self, i: usize) -> DecodedEvent {
+        DecodedEvent {
+            gap: self.gap_lane[i],
+            core: self.core_lane[i],
+            flags: self.flag_lane[i],
+        }
+    }
+
+    /// Number of replay chunks ([`REPLAY_CHUNK_EVENTS`] events each, the
+    /// last possibly partial).
+    pub(crate) fn num_chunks(&self) -> usize {
+        self.gap_lane.len().div_ceil(REPLAY_CHUNK_EVENTS)
+    }
+
+    /// The event index range of chunk `chunk`.
+    pub(crate) fn chunk_range(&self, chunk: usize) -> std::ops::Range<usize> {
+        let lo = chunk * REPLAY_CHUNK_EVENTS;
+        lo..(lo + REPLAY_CHUNK_EVENTS).min(self.gap_lane.len())
+    }
+
+    /// The `(wear, dram)` side-stream offsets at the start of `chunk`.
+    pub(crate) fn chunk_side_base(&self, chunk: usize) -> (usize, usize) {
+        self.chunk_bases[chunk]
+    }
+
+    /// The instruction-gap lane (`u32`), indexed by event.
+    pub(crate) fn gap_lane(&self) -> &[u32] {
+        &self.gap_lane
+    }
+
+    /// The instruction-gap lane pre-converted to `f64`, indexed by event.
+    pub(crate) fn gap_f64_lane(&self) -> &[f64] {
+        &self.gap_f64_lane
+    }
+
+    /// The core lane, indexed by event.
+    pub(crate) fn core_lane(&self) -> &[u8] {
+        &self.core_lane
+    }
+
+    /// The packed flag lane ([`DecodedEvent`] flag byte), indexed by
+    /// event.
+    pub(crate) fn flag_lane(&self) -> &[u8] {
+        &self.flag_lane
     }
 
     /// The endurance side stream, flat.
@@ -928,6 +1011,11 @@ pub mod cache {
                     "Wall time of the `tape_replay_batch` span.",
                 ),
                 (
+                    "nvmllc_tape_replay_chunk_seconds",
+                    "Wall time of one batched-replay event chunk (all \
+                     engines over one block of decoded lanes).",
+                ),
+                (
                     "nvmllc_tape_decode_seconds",
                     "Wall time of the `tape_decode` span.",
                 ),
@@ -1037,7 +1125,7 @@ pub mod cache {
             if let Some(store) = store {
                 let store_key = crate::persist::tape_store_key(&key);
                 if let Some(tape) = store
-                    .get(&store_key)
+                    .get_mapped(&store_key)
                     .and_then(|payload| crate::persist::decode_tape(&payload))
                 {
                     STORE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -1320,15 +1408,32 @@ mod tests {
         let decoded = DecodedTape::decode(&tape);
         assert_eq!(decoded.len(), 3);
         assert_eq!(decoded.cores(), 2);
-        for (&rec, &ev) in tape.records().iter().zip(decoded.events()) {
-            assert_eq!(ev, rec.decode());
+        for (i, &rec) in tape.records().iter().enumerate() {
+            assert_eq!(decoded.event(i), rec.decode());
+        }
+        // The lanes are parallel views of the same events, with the gap
+        // pre-converted exactly to f64.
+        for i in 0..decoded.len() {
+            let ev = decoded.event(i);
+            assert_eq!(decoded.gap_lane()[i], ev.gap);
+            assert_eq!(decoded.gap_f64_lane()[i], f64::from(ev.gap));
+            assert_eq!(decoded.core_lane()[i], ev.core);
+            assert_eq!(decoded.flag_lane()[i], ev.flags);
         }
         // The flat side arrays carry the streams in emission order, and
         // the per-event counts partition them: (0, 0) + (1, 0) + (1, 1).
         assert_eq!(decoded.wear_blocks(), &[10, 99]);
         assert_eq!(decoded.dram_blocks(), &[99]);
-        let counts: Vec<_> = decoded.events().iter().map(|ev| ev.side_counts()).collect();
+        let counts: Vec<_> = (0..decoded.len())
+            .map(|i| decoded.event(i).side_counts())
+            .collect();
         assert_eq!(counts, vec![(0, 0), (1, 0), (1, 1)]);
+        // A three-event tape is one (partial) chunk; its base offsets
+        // start at zero and the trailing entry holds the stream totals.
+        assert_eq!(decoded.num_chunks(), 1);
+        assert_eq!(decoded.chunk_range(0), 0..3);
+        assert_eq!(decoded.chunk_side_base(0), (0, 0));
+        assert_eq!(decoded.chunk_bases.last(), Some(&(2, 1)));
     }
 
     #[test]

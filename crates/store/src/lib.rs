@@ -27,6 +27,13 @@
 //!   holds an LRU byte budget (default [`DEFAULT_BUDGET_BYTES`]):
 //!   inserts that push the resident total over budget evict the
 //!   least-recently-fetched records.
+//! * **Zero-copy warm reads.** On unix (with the default `mmap`
+//!   feature), [`Store::get_mapped`] memory-maps a record, validates
+//!   the header in place, and returns a [`Payload`] borrowing the
+//!   payload bytes straight from the page cache — no allocation or
+//!   copy proportional to record size. Everywhere else, and whenever
+//!   mapping fails, the same call falls back to the owned
+//!   [`Store::get`] path, so callers never branch on platform.
 //!
 //! The crate knows nothing about simulations: values are opaque byte
 //! payloads. `nvm_llc_sim::persist` supplies the encodings and key
@@ -43,7 +50,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+#[cfg(all(unix, feature = "mmap"))]
+mod mmap;
 pub mod wire;
+
+#[cfg(all(unix, feature = "mmap"))]
+pub use mmap::MappedPayload;
 
 /// Process-wide store counters in the [`nvm_llc_obs`] registry.
 ///
@@ -101,6 +113,14 @@ pub mod metrics {
         )
     }
 
+    /// `nvmllc_store_mmap_bytes_total`
+    pub fn mmap_bytes() -> &'static Counter {
+        counter(
+            "nvmllc_store_mmap_bytes_total",
+            "Payload bytes served zero-copy from mmap-backed reads.",
+        )
+    }
+
     /// `nvmllc_store_bytes_written_total`
     pub fn bytes_written() -> &'static Counter {
         counter(
@@ -125,6 +145,7 @@ pub mod metrics {
         insertions();
         evictions();
         bytes_read();
+        mmap_bytes();
         bytes_written();
         resident_bytes();
     }
@@ -236,6 +257,41 @@ struct Index {
     map: HashMap<Key, IndexEntry>,
     clock: u64,
     resident: u64,
+}
+
+/// A payload returned by [`Store::get_mapped`]: either an owned buffer
+/// (the portable path) or a zero-copy view into a memory-mapped record.
+///
+/// Dereferences to `[u8]` either way, so decoders written against byte
+/// slices work unchanged. The `Mapped` variant keeps the whole record
+/// file mapped for as long as the payload is alive; callers that decode
+/// and drop (the store's only use today) release the mapping
+/// immediately after.
+#[derive(Debug)]
+pub enum Payload {
+    /// Heap-allocated payload from the portable `fs::read` path.
+    Owned(Vec<u8>),
+    /// Zero-copy view of the payload inside a mapped record file.
+    #[cfg(all(unix, feature = "mmap"))]
+    Mapped(MappedPayload),
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Payload::Owned(bytes) => bytes,
+            #[cfg(all(unix, feature = "mmap"))]
+            Payload::Mapped(mapped) => mapped,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
 }
 
 /// A persistent content-addressed record store rooted at one directory.
@@ -389,6 +445,73 @@ impl Store {
                 self.forget(key);
                 None
             }
+        }
+    }
+
+    /// [`Store::get`] without the copy, where the platform allows it.
+    ///
+    /// On unix with the default `mmap` feature, a present record is
+    /// memory-mapped, validated in place, and returned as
+    /// [`Payload::Mapped`] — the payload bytes are borrowed straight
+    /// from the page cache. On other platforms, with the feature off,
+    /// or when the kernel refuses the mapping, the call falls back to
+    /// the owned [`Store::get`] path and returns [`Payload::Owned`].
+    ///
+    /// Accounting matches [`Store::get`] exactly: hits/misses/corrupt
+    /// counters move the same way, LRU recency is touched on hits, and
+    /// a record failing validation is deleted so the caller recomputes.
+    /// Mapped hits additionally count into
+    /// `nvmllc_store_mmap_bytes_total`.
+    pub fn get_mapped(&self, key: &Key) -> Option<Payload> {
+        #[cfg(all(unix, feature = "mmap"))]
+        {
+            let path = self.record_path(key);
+            let Ok(file) = fs::File::open(&path) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::misses().inc();
+                self.forget(key);
+                return None;
+            };
+            let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+            let Some(map) = mmap::Mmap::map(&file, len) else {
+                // Empty file, exotic filesystem, address-space
+                // exhaustion: let the owned path classify it (a
+                // zero-length record fails validation there and is
+                // cleaned up as corrupt).
+                drop(file);
+                return self.get(key).map(Payload::Owned);
+            };
+            match validate_record(&map) {
+                Some(payload) => {
+                    let payload_len = payload.len() as u64;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    metrics::hits().inc();
+                    self.bytes_read.fetch_add(payload_len, Ordering::Relaxed);
+                    metrics::bytes_read().add(payload_len);
+                    metrics::mmap_bytes().add(payload_len);
+                    self.touch(key, map.len() as u64);
+                    Some(Payload::Mapped(MappedPayload::new(map)))
+                }
+                None => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    metrics::corrupt().inc();
+                    metrics::misses().inc();
+                    nvm_llc_obs::debug!(
+                        "store", "corrupt record deleted; caller will recompute";
+                        "key" => key.hex(),
+                        "bytes" => map.len(),
+                    );
+                    drop(map);
+                    let _ = fs::remove_file(&path);
+                    self.forget(key);
+                    None
+                }
+            }
+        }
+        #[cfg(not(all(unix, feature = "mmap")))]
+        {
+            self.get(key).map(Payload::Owned)
         }
     }
 
@@ -721,6 +844,73 @@ mod tests {
         assert_eq!(store.len(), 0);
         assert!(!tmp.0.join("tmp-999-0-deadbeef").exists());
         assert!(tmp.0.join("unrelated.txt").exists());
+    }
+
+    #[test]
+    fn get_mapped_round_trips_with_get_accounting() {
+        let tmp = TempDir::new("mapped");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"mapped key");
+        assert!(store.get_mapped(&key).is_none());
+        store.put(&key, b"mapped payload").unwrap();
+        let payload = store.get_mapped(&key).expect("warm read");
+        assert_eq!(&*payload, b"mapped payload");
+        assert_eq!(payload.as_ref(), b"mapped payload");
+        #[cfg(all(unix, feature = "mmap"))]
+        assert!(
+            matches!(payload, Payload::Mapped(_)),
+            "unix warm reads must take the zero-copy path: {payload:?}"
+        );
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.corrupt), (1, 1, 0));
+        assert_eq!(stats.bytes_read, b"mapped payload".len() as u64);
+    }
+
+    #[test]
+    fn get_mapped_empty_payload_still_round_trips() {
+        // A header-only record maps fine (24 bytes) and carries an
+        // empty payload — the mapped slice must be empty, not an error.
+        let tmp = TempDir::new("mapped-empty");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"mapped nothing");
+        store.put(&key, b"").unwrap();
+        let payload = store.get_mapped(&key).expect("warm read");
+        assert_eq!(&*payload, b"");
+    }
+
+    #[test]
+    fn truncated_mapped_record_falls_back_to_clean_recompute() {
+        let tmp = TempDir::new("mapped-truncate");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"mapped will truncate");
+        store.put(&key, &vec![9u8; 512]).unwrap();
+        let path = tmp.0.join(format!("{}.rec", key.hex()));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 3]).unwrap();
+        // The mapped read rejects the record, deletes it, and reports a
+        // clean miss, so the caller recomputes...
+        assert_eq!(store.get_mapped(&key).map(|p| p.to_vec()), None);
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(!path.exists());
+        assert!(!store.contains(&key));
+        // ...and the recomputed put heals the entry for mapped reads.
+        store.put(&key, b"recomputed").unwrap();
+        let healed = store.get_mapped(&key).expect("healed record");
+        assert_eq!(&*healed, b"recomputed");
+    }
+
+    #[test]
+    fn zero_length_record_file_is_classified_corrupt_by_get_mapped() {
+        // An empty *file* (not an empty payload) cannot be mapped; the
+        // fallback path must still classify and shed it.
+        let tmp = TempDir::new("mapped-zero");
+        let store = Store::open(&tmp.0).unwrap();
+        let key = Key::digest(b"zero-length file");
+        let path = tmp.0.join(format!("{}.rec", key.hex()));
+        fs::write(&path, b"").unwrap();
+        assert!(store.get_mapped(&key).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(!path.exists());
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Read-only memory mapping for record files (unix fast path).
+//!
+//! The store's warm reads used to copy every record through a `Vec`:
+//! `fs::read` allocates payload-sized buffers just so the caller can
+//! decode and drop them. Mapping the record instead lets validation and
+//! decoding run directly over the page cache — zero copies, no
+//! allocation proportional to record size.
+//!
+//! `std` exposes no mapping API and this workspace vendors no platform
+//! crates, so the module carries a minimal `extern "C"` surface over
+//! `mmap(2)`/`munmap(2)` wrapped in an RAII [`Mmap`]. It is gated to
+//! `cfg(unix)` + the `mmap` cargo feature; every other configuration
+//! uses the portable owned-buffer path ([`crate::Store::get`]).
+//!
+//! ## Why the mapping stays valid
+//!
+//! A mapped file that shrinks under the reader turns page faults into
+//! `SIGBUS`, so this is only sound because the store never truncates a
+//! record in place: writers replace records via `rename(2)` (the mapped
+//! inode lives on until unmapped) and eviction unlinks whole files
+//! (likewise). External tampering with the store directory is outside
+//! the design's fault model — the same caveat the checksum validation
+//! in [`crate::Store::get`] already carries.
+
+use std::fs::File;
+use std::ops::Deref;
+use std::os::unix::io::AsRawFd;
+
+/// `PROT_READ` on every supported unix.
+const PROT_READ: i32 = 1;
+/// `MAP_PRIVATE` on every supported unix.
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+}
+
+/// A read-only, private mapping of an entire file.
+///
+/// Dereferences to the mapped bytes; unmaps on drop.
+pub struct Mmap {
+    ptr: std::ptr::NonNull<core::ffi::c_void>,
+    len: usize,
+}
+
+// A PROT_READ/MAP_PRIVATE mapping is plain immutable memory: sharing
+// references across threads is as safe as sharing `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps all `len` bytes of `file` read-only, or `None` when the file
+    /// is empty (zero-length mappings are invalid) or the kernel refuses
+    /// (e.g. a filesystem without mmap support) — callers fall back to
+    /// the owned read path.
+    pub fn map(file: &File, len: u64) -> Option<Mmap> {
+        if len == 0 || usize::try_from(len).is_err() {
+            return None;
+        }
+        let len = len as usize;
+        // SAFETY: requesting a fresh PROT_READ/MAP_PRIVATE mapping of a
+        // file descriptor we own; the kernel validates the rest and
+        // reports failure as MAP_FAILED (-1).
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return None;
+        }
+        Some(Mmap {
+            ptr: std::ptr::NonNull::new(ptr)?,
+            len,
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the mapping covers `len` readable bytes and lives
+        // until `Drop`; `&self` borrows tie every slice to that
+        // lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly the region `map` established.
+        unsafe {
+            let _ = munmap(self.ptr.as_ptr(), self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// A validated record mapping that dereferences to the payload bytes
+/// (the record minus its fixed header).
+#[derive(Debug)]
+pub struct MappedPayload {
+    map: Mmap,
+}
+
+impl MappedPayload {
+    /// Wraps a mapping whose record already passed validation.
+    pub(crate) fn new(map: Mmap) -> MappedPayload {
+        debug_assert!(map.len >= crate::HEADER_BYTES);
+        MappedPayload { map }
+    }
+}
+
+impl Deref for MappedPayload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.map[crate::HEADER_BYTES..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents_and_rejects_empty() {
+        let dir = std::env::temp_dir().join(format!(
+            "nvm-llc-mmap-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"mapped bytes").unwrap();
+        }
+        let file = File::open(&path).unwrap();
+        let len = file.metadata().unwrap().len();
+        let map = Mmap::map(&file, len).unwrap();
+        assert_eq!(&*map, b"mapped bytes");
+
+        let empty_path = dir.join("empty");
+        File::create(&empty_path).unwrap();
+        let empty = File::open(&empty_path).unwrap();
+        assert!(Mmap::map(&empty, 0).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -36,7 +36,11 @@ use nvm_llc::sim::MatrixRow;
 #[test]
 fn overlapping_identical_requests_coalesce_and_stay_bit_identical() {
     const CLIENTS: usize = 8;
-    const ACCESSES: usize = 40_000;
+    // Large enough that the leader's cold evaluation (trace generation +
+    // functional record + batched replay) stays in flight while the
+    // other clients' requests land, even with the replay kernels fast
+    // and every thread contending for one CPU.
+    const ACCESSES: usize = 200_000;
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: CLIENTS,
@@ -230,6 +234,19 @@ fn statsz_reports_uptime_build_info_and_status_classes() {
         "\"build\":{{\"version\":\"{}\",\"git_hash\":\"",
         env!("CARGO_PKG_VERSION")
     )));
+    // Built from a clone (as here), the build script resolves the real
+    // commit; `unknown` is reserved for source-tarball builds.
+    let in_git_clone = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .map(|out| out.status.success())
+        .unwrap_or(false);
+    if in_git_clone {
+        assert!(
+            !stats.contains("\"git_hash\":\"unknown\""),
+            "clone builds must report a real commit: {stats}"
+        );
+    }
     assert!(stats.contains("\"metrics\":{"), "registry dump missing");
     assert!(
         field_after(&stats, "\"requests_by_class\":", "4xx") >= 1,

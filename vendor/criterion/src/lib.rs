@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no cargo registry, so the workspace vendors the
+//! slice of criterion 0.5 the bench targets use: `Criterion` with
+//! `sample_size`, `bench_function`, and `benchmark_group`; groups with
+//! `sample_size`/`throughput`/`bench_function`/`finish`; `Bencher::iter`;
+//! `Throughput`; `black_box`; and the named-field `criterion_group!` form
+//! plus `criterion_main!`.
+//!
+//! Statistics are deliberately simple — per-sample wall-clock means with a
+//! min/median/max summary line — because CI only needs the benches to run
+//! and the artifact printing lives in the bench bodies themselves. The
+//! harness honors `--test` (run every body exactly once, no timing), which
+//! `cargo bench -- --test` uses as a smoke mode, and ignores the other
+//! libtest/criterion flags cargo may pass (`--bench`, filters).
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration; recorded so group reports can show a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Times one benchmark body. Handed to the closure given to
+/// `bench_function`; call [`Bencher::iter`] exactly as with upstream.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (once per sample, or exactly once in `--test`
+    /// mode) and records wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // One untimed warmup call, then `sample_size` timed samples.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn summarize(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{name:<44} time: [{min:>10.3?} {median:>10.3?} {max:>10.3?}]{rate}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Upstream defaults to 100 samples; every group here overrides
+            // to 10–20, so a small default keeps unconfigured benches fast.
+            sample_size: 10,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style, as
+    /// in upstream's config chaining).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line flags: `--test` switches to run-once smoke
+    /// mode; everything else cargo passes (`--bench`, name filters) is
+    /// accepted and ignored.
+    pub fn configure_from_args(&mut self) {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+    }
+
+    /// Benchmarks `f`, printing a one-line wall-clock summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id:<44} ok (--test mode, ran once)");
+        } else {
+            summarize(&id, &b.samples, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and optional overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.criterion.test_mode {
+            println!("{id:<44} ok (--test mode, ran once)");
+        } else {
+            summarize(&id, &b.samples, self.throughput);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Upstream-compatible group declaration. Both the named-field form used
+/// in this workspace and the simple positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| black_box((0..4u64).sum::<u64>())));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_counts_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(42));
+        assert_eq!(b.samples.len(), 3);
+        let mut t = Bencher {
+            test_mode: true,
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        t.iter(|| black_box(42));
+        assert_eq!(t.samples.len(), 1);
+    }
+}

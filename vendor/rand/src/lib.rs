@@ -1,0 +1,252 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to a cargo registry, so the workspace
+//! vendors the narrow slice of the rand 0.9 API it actually uses: the
+//! [`Rng`]/[`SeedableRng`] traits, [`rngs::SmallRng`], uniform `f64` in
+//! `[0, 1)`, and `random_range` over half-open integer ranges. The
+//! generator is xoshiro256++ seeded through SplitMix64 — the same family
+//! rand's own `SmallRng` uses on 64-bit targets — so streams are of
+//! comparable statistical quality, though not bit-identical to upstream.
+//!
+//! Everything here is deterministic given the seed; no OS entropy is ever
+//! touched, which also keeps trace generation reproducible across runs.
+
+use std::ops::Range;
+
+/// Construction of a generator from seed material.
+///
+/// Upstream rand derives `seed_from_u64` from `from_seed`; the workspace
+/// only ever seeds from a `u64`, so that is the whole trait here.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling of a value from the "standard" distribution of a type.
+///
+/// Mirrors rand's `StandardUniform` distribution: `f64` is uniform in
+/// `[0, 1)` with 53 bits of precision.
+pub trait StandardSample: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1) with full f64 precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform sampling from a half-open `low..high` range.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(
+                    range.start < range.end,
+                    "cannot sample from empty range {}..{}",
+                    range.start,
+                    range.end
+                );
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Multiply-shift range reduction (Lemire); the tiny bias is
+                // irrelevant for workload synthesis and keeps this branch-free.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(
+            range.start < range.end,
+            "cannot sample from empty f64 range"
+        );
+        let u = f64::sample(rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+/// The user-facing random-number trait: one entropy source plus the
+/// generic sampling helpers the workspace calls.
+pub trait Rng {
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples from the standard distribution of `T` (e.g. `f64` in `[0, 1)`).
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from the half-open range `low..high`.
+    #[inline]
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++.
+    ///
+    /// Matches the role (not the exact stream) of rand's `SmallRng` on
+    /// 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Expand the 64-bit seed through SplitMix64, exactly the
+            // scheme Vigna recommends for seeding xoshiro state.
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..8u8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+        for _ in 0..1_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0..usize::MAX / 2 + 7);
+            assert!(w < usize::MAX / 2 + 7);
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_rng() {
+        fn sample_dyn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = sample_dyn(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
