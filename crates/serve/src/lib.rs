@@ -2,19 +2,43 @@
 //!
 //! A std-only HTTP/1.1 daemon over the workload × technology matrix:
 //! `std::net::TcpListener`, a fixed worker pool, and no dependencies
-//! beyond the workspace. Four endpoints:
+//! beyond the workspace. Endpoints:
 //!
 //! | endpoint   | answer |
 //! |------------|--------|
 //! | `/eval?workload=W&tech=T` | one technology's normalized cell |
 //! | `/row?workload=W`        | the full matrix row for `W` |
 //! | `/healthz`               | liveness (`ok`) |
-//! | `/statsz`                | queue, coalescing, store, and tape-cache counters |
+//! | `/statsz`                | queue, coalescing, store, tape-cache, and cluster counters |
 //! | `/metricsz`              | the same registry in Prometheus text exposition |
 //!
 //! Optional parameters on `/eval` and `/row`: `models`
 //! (`fixed_capacity`, default, or `fixed_area`) and `accesses`
 //! (per-thread base access count).
+//!
+//! ## Transport
+//!
+//! Connections are **persistent**: the per-connection loop parses any
+//! number of HTTP/1.1 requests out of one socket — pipelined into a
+//! single TCP segment or split across reads — and writes exact
+//! `Content-Length` responses back-to-back. `Connection:
+//! keep-alive`/`close` is honored in both directions, bounded by a
+//! max-requests-per-connection cap and an idle timeout
+//! ([`ServeConfig::max_requests_per_conn`],
+//! [`ServeConfig::idle_timeout_ms`]). A malformed request line answers
+//! `400` *without* dropping the connection; only an unterminated
+//! oversized head (`431`) forces a close, because there is no request
+//! boundary left to recover at.
+//!
+//! ## Cluster serving
+//!
+//! With `--shard-id/--shard-count/--peers` the daemon joins a
+//! consistent-hash cluster over the persist keyspace (see [`cluster`]):
+//! it answers the requests it owns, and forwards the rest a single hop
+//! to the owning shard over pooled keep-alive connections ([`pool`]),
+//! evaluating locally whenever the owner is unreachable or the request
+//! already hopped once — a valid key is never 404'd. `nvm-llc route`
+//! runs the same server as a thin router that only forwards.
 //!
 //! ## Behavior under load
 //!
@@ -30,23 +54,27 @@
 //!   result store, so a warm request — even after a daemon restart —
 //!   skips simulation entirely.
 //! * **Graceful shutdown** — SIGTERM/SIGINT (or [`Server::stop`]) stops
-//!   accepting, drains queued and in-flight requests, then joins every
-//!   worker.
+//!   accepting, drains queued and in-flight requests (keep-alive
+//!   connections get `Connection: close` on their next response), then
+//!   joins every worker.
 //!
 //! Responses are rendered by [`json`] with shortest-round-trip floats,
 //! so a served body is byte-identical to rendering the same
-//! `Evaluator` result locally — the integration tests pin exactly that.
+//! `Evaluator` result locally — the integration tests pin exactly that,
+//! across shards and proxy hops too.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod http;
 pub mod json;
+pub mod pool;
 
 /// Service metrics in the process-wide [`nvm_llc_obs`] registry.
 pub mod metrics {
     use nvm_llc_obs::metrics::{
-        counter, counter_with, gauge, histogram, Counter, Gauge, Histogram,
+        counter, counter_with, gauge, histogram, histogram_with_bounds, Counter, Gauge, Histogram,
     };
 
     /// `nvmllc_serve_requests_total{class=...}` — one instance per
@@ -121,7 +149,40 @@ pub mod metrics {
     pub fn uptime_seconds() -> &'static Gauge {
         gauge(
             "nvmllc_serve_uptime_seconds",
-            "Seconds since the server started (set at scrape time).",
+            "Seconds since the server started, rounded up (set at scrape time).",
+        )
+    }
+
+    /// `nvmllc_serve_connections_total`
+    pub fn connections() -> &'static Counter {
+        counter(
+            "nvmllc_serve_connections_total",
+            "TCP connections handed to the worker pool.",
+        )
+    }
+
+    /// `nvmllc_serve_requests_per_conn` — requests served on one
+    /// connection before it closed (keep-alive efficiency).
+    pub fn requests_per_conn() -> &'static Histogram {
+        histogram_with_bounds(
+            "nvmllc_serve_requests_per_conn",
+            "Requests served per connection before close.",
+            &[
+                1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+            ],
+        )
+    }
+
+    /// `nvmllc_serve_proxy_hops_total{result=...}` — cluster request
+    /// placement: `local` (owned and answered here), `forwarded`
+    /// (relayed one hop to the owner), `fallback` (should have
+    /// forwarded, evaluated locally instead — owner unreachable or the
+    /// request already hopped).
+    pub fn proxy_hops(result: &str) -> &'static Counter {
+        counter_with(
+            "nvmllc_serve_proxy_hops_total",
+            "Cluster request placement outcomes.",
+            &[("result", result)],
         )
     }
 
@@ -143,6 +204,11 @@ pub mod metrics {
         coalesce_waiters();
         evaluations();
         uptime_seconds();
+        connections();
+        requests_per_conn();
+        for result in ["local", "forwarded", "fallback"] {
+            proxy_hops(result);
+        }
         nvm_llc_obs::metrics::histogram(
             "nvmllc_serve_handle_seconds",
             "Wall time of the `serve_handle` span.",
@@ -162,16 +228,21 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nvm_llc_circuit::{reference, LlcModel};
-use nvm_llc_sim::Evaluator;
+use nvm_llc_sim::{persist, Evaluator};
 use nvm_llc_store::Store;
 use nvm_llc_trace::workloads;
+
+use cluster::{ClusterConfig, RouterConfig, ShardMap, HOP_HEADER};
+use pool::Pool;
 
 /// Service configuration; every field has a serving-friendly default.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Listen address (`127.0.0.1:7878`; port `0` picks one).
     pub addr: String,
-    /// Worker threads handling parsed requests.
+    /// Worker threads handling connections. A keep-alive connection
+    /// occupies its worker until it closes, so size this at or above
+    /// the expected concurrent-connection count.
     pub workers: usize,
     /// Bounded accept queue; a full queue answers `503`.
     pub queue_capacity: usize,
@@ -183,6 +254,13 @@ pub struct ServeConfig {
     pub base_accesses: usize,
     /// Persistent result-store directory (none: in-memory caches only).
     pub store_dir: Option<PathBuf>,
+    /// Requests served on one connection before the server closes it
+    /// (the response that hits the cap carries `Connection: close`).
+    pub max_requests_per_conn: usize,
+    /// How long an idle keep-alive connection is held open, ms.
+    pub idle_timeout_ms: u64,
+    /// Consistent-hash shard membership (none: standalone node).
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -195,6 +273,9 @@ impl Default for ServeConfig {
             eval_threads: 1,
             base_accesses: 20_000,
             store_dir: None,
+            max_requests_per_conn: 1_000,
+            idle_timeout_ms: 5_000,
+            cluster: None,
         }
     }
 }
@@ -204,16 +285,22 @@ impl Default for ServeConfig {
 pub const USAGE: &str = "\
 options:
   --addr HOST:PORT       listen address (default 127.0.0.1:7878)
-  --workers N            request worker threads (default 4)
+  --workers N            connection worker threads (default 4)
   --queue-capacity N     pending-connection bound; full => 503 (default 64)
   --max-evals N          concurrent evaluations; exhausted => 429 (default 4)
   --eval-threads N       worker threads inside one evaluation (default 1)
   --base-accesses N      default per-thread trace accesses (default 20000)
-  --store-dir PATH       persistent content-addressed result store";
+  --store-dir PATH       persistent content-addressed result store
+  --max-requests-per-conn N  keep-alive requests per connection (default 1000)
+  --idle-timeout-ms N    idle keep-alive connection timeout (default 5000)
+  --shard-id N           this node's shard id (cluster mode)
+  --shard-count N        total shards on the consistent-hash ring
+  --peers A,B,C          every shard's address, in shard-id order";
 
 impl ServeConfig {
     /// Parses daemon flags (see [`USAGE`]). Unknown flags, missing
-    /// values, and out-of-range numbers are errors.
+    /// values, out-of-range numbers, and inconsistent cluster triples
+    /// are errors.
     pub fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
         fn next<'a>(
             it: &mut impl Iterator<Item = &'a String>,
@@ -230,6 +317,9 @@ impl ServeConfig {
                 .ok_or_else(|| format!("{flag} wants an integer >= 1, got {raw:?}"))
         }
         let mut config = ServeConfig::default();
+        let mut shard_id: Option<usize> = None;
+        let mut shard_count: Option<usize> = None;
+        let mut peers: Option<Vec<String>> = None;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -250,9 +340,41 @@ impl ServeConfig {
                 "--eval-threads" => config.eval_threads = positive(next(&mut it, flag)?, flag)?,
                 "--base-accesses" => config.base_accesses = positive(next(&mut it, flag)?, flag)?,
                 "--store-dir" => config.store_dir = Some(PathBuf::from(next(&mut it, flag)?)),
+                "--max-requests-per-conn" => {
+                    config.max_requests_per_conn = positive(next(&mut it, flag)?, flag)?;
+                }
+                "--idle-timeout-ms" => {
+                    config.idle_timeout_ms = positive(next(&mut it, flag)?, flag)? as u64;
+                }
+                "--shard-id" => {
+                    let raw = next(&mut it, flag)?;
+                    shard_id = Some(
+                        raw.parse()
+                            .map_err(|_| format!("{flag} wants an integer >= 0, got {raw:?}"))?,
+                    );
+                }
+                "--shard-count" => shard_count = Some(positive(next(&mut it, flag)?, flag)?),
+                "--peers" => peers = Some(cluster::parse_peers(next(&mut it, flag)?)?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
+        config.cluster = match (shard_id, shard_count, peers) {
+            (None, None, None) => None,
+            (Some(shard_id), Some(shard_count), Some(peers)) => {
+                let cluster = ClusterConfig {
+                    shard_id,
+                    shard_count,
+                    peers,
+                };
+                cluster.validate()?;
+                Some(cluster)
+            }
+            _ => {
+                return Err(
+                    "cluster mode needs all of --shard-id, --shard-count, and --peers".to_owned(),
+                )
+            }
+        };
         Ok(config)
     }
 }
@@ -260,6 +382,7 @@ impl ServeConfig {
 /// Service-level counters, all monotone.
 #[derive(Debug, Default)]
 struct Counters {
+    connections: AtomicU64,
     requests: AtomicU64,
     coalesce_hits: AtomicU64,
     rejected_queue_full: AtomicU64,
@@ -318,8 +441,75 @@ impl EvalSlot {
     }
 }
 
+/// Everything cluster-aware dispatch needs: the ring, this node's
+/// identity (routers have none), one upstream pool per peer, and
+/// per-peer forward counters.
+struct ClusterState {
+    map: ShardMap,
+    /// `Some(shard_id)` on a shard; `None` on a router.
+    self_id: Option<usize>,
+    /// One keep-alive pool per shard, indexed by shard id. A shard's
+    /// own slot exists but is never dialed.
+    peers: Vec<Pool>,
+    /// Requests forwarded to each peer.
+    forwards: Vec<AtomicU64>,
+    /// Requests answered locally although another shard owned them.
+    fallbacks: AtomicU64,
+}
+
+impl ClusterState {
+    fn new(self_id: Option<usize>, peers: &[String]) -> ClusterState {
+        ClusterState {
+            map: ShardMap::new(peers.len()),
+            self_id,
+            peers: peers.iter().map(Pool::new).collect(),
+            forwards: peers.iter().map(|_| AtomicU64::new(0)).collect(),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    fn render_json(&self) -> String {
+        let role = match self.self_id {
+            Some(_) => "shard",
+            None => "router",
+        };
+        let forwards: Vec<String> = self
+            .forwards
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed).to_string())
+            .collect();
+        let peers: Vec<String> = self
+            .peers
+            .iter()
+            .map(|p| format!("\"{}\"", p.addr()))
+            .collect();
+        format!(
+            "{{\"role\":\"{role}\",\"shard_id\":{},\"shard_count\":{},\
+             \"peers\":[{}],\"forwards\":[{}],\"fallbacks\":{},\"map\":{}}}",
+            self.self_id
+                .map_or_else(|| "null".to_owned(), |id| id.to_string()),
+            self.map.shard_count(),
+            peers.join(","),
+            forwards.join(","),
+            self.fallbacks.load(Ordering::Relaxed),
+            self.map.render_json(),
+        )
+    }
+}
+
+/// What this server instance does with `/eval` and `/row`.
+enum Role {
+    /// Standalone node: evaluate everything locally.
+    Node,
+    /// Cluster shard: evaluate owned keys, forward the rest one hop.
+    Shard(ClusterState),
+    /// Thin router: forward everything, evaluate nothing.
+    Router(ClusterState),
+}
+
 struct Shared {
     config: ServeConfig,
+    role: Role,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     stop: AtomicBool,
@@ -348,6 +538,34 @@ impl Server {
     /// Binds, opens the store (when configured), and spawns the accept
     /// thread plus the worker pool. Returns once the service accepts.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let role = match &config.cluster {
+            Some(c) => Role::Shard(ClusterState::new(Some(c.shard_id), &c.peers)),
+            None => Role::Node,
+        };
+        Server::start_with_role(config, role)
+    }
+
+    /// Starts a thin router: same transport, queue, and worker pool,
+    /// but `/eval` and `/row` only forward to the owning shard.
+    pub fn start_router(config: RouterConfig) -> std::io::Result<Server> {
+        if config.peers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router mode requires at least one peer",
+            ));
+        }
+        let role = Role::Router(ClusterState::new(None, &config.peers));
+        let serve = ServeConfig {
+            addr: config.addr,
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            // Routers never evaluate; the remaining knobs are inert.
+            ..ServeConfig::default()
+        };
+        Server::start_with_role(serve, role)
+    }
+
+    fn start_with_role(config: ServeConfig, role: Role) -> std::io::Result<Server> {
         metrics::register();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -359,6 +577,7 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             config,
+            role,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -427,7 +646,9 @@ impl Server {
     pub fn summary(&self) -> String {
         let c = &self.shared.counters;
         format!(
-            "{} requests, {} evaluations, {} coalesced, {} queue-rejected, {} busy-rejected",
+            "{} connections, {} requests, {} evaluations, {} coalesced, \
+             {} queue-rejected, {} busy-rejected",
+            c.connections.load(Ordering::Relaxed),
             c.requests.load(Ordering::Relaxed),
             c.evaluations.load(Ordering::Relaxed),
             c.coalesce_hits.load(Ordering::Relaxed),
@@ -516,27 +737,140 @@ fn error_json(message: &str) -> String {
     format!("{{\"error\":\"{message}\"}}")
 }
 
+/// How often a blocked connection read wakes to re-check the stop flag
+/// and the idle deadline.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Serves one connection to completion: parse every request the socket
+/// delivers (pipelined or split across reads), answer each with an
+/// exact-length response, write batches back-to-back, and hold the
+/// connection open until the peer closes, an idle timeout passes, the
+/// per-connection request cap is reached, or the server drains.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _span = nvm_llc_obs::span!("serve_handle");
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    metrics::connections().inc();
+    let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let request = match http::read_request(&mut stream) {
-        Ok(request) => request,
-        Err(_) => {
-            shared.counters.count_status(400);
-            let _ = http::respond(
-                &mut stream,
-                400,
-                "application/json",
-                &error_json("malformed request"),
-            );
-            return;
+    let _ = stream.set_nodelay(true);
+
+    let idle_timeout = Duration::from_millis(shared.config.idle_timeout_ms.max(1));
+    let max_requests = shared.config.max_requests_per_conn.max(1) as u64;
+    let mut buf = http::ConnBuffer::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut served: u64 = 0;
+    let mut last_activity = Instant::now();
+
+    'conn: loop {
+        // Drain every complete request already buffered, answering each
+        // into the write buffer so pipelined responses go out together.
+        loop {
+            match buf.next_request() {
+                Ok(Some(request)) => {
+                    served += 1;
+                    let draining = shared.stop.load(Ordering::SeqCst);
+                    let close = request.close || served >= max_requests || draining;
+                    serve_request(shared, &request, &mut out, !close);
+                    if close {
+                        let _ = flush(&mut stream, &mut out);
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(http::ParseError::Malformed(_)) => {
+                    // The bad head was consumed; answer 400 and keep
+                    // parsing — pipelined successors are still intact.
+                    served += 1;
+                    shared.counters.count_status(400);
+                    let _ = http::respond_conn(
+                        &mut out,
+                        400,
+                        "application/json",
+                        &error_json("malformed request"),
+                        served < max_requests,
+                    );
+                    if served >= max_requests {
+                        let _ = flush(&mut stream, &mut out);
+                        break 'conn;
+                    }
+                }
+                Err(http::ParseError::TooLarge) => {
+                    // No head boundary to resynchronize at: close.
+                    shared.counters.count_status(431);
+                    let _ = http::respond_conn(
+                        &mut out,
+                        431,
+                        "application/json",
+                        &error_json("request header section too large"),
+                        false,
+                    );
+                    let _ = flush(&mut stream, &mut out);
+                    // Drain whatever the client over-sent before closing:
+                    // a close with unread bytes queued resets the
+                    // connection and can discard the 431 in flight.
+                    drain_excess(&mut stream);
+                    break 'conn;
+                }
+            }
         }
-    };
+        if flush(&mut stream, &mut out).is_err() {
+            break;
+        }
+        // Need more bytes. The read timeout is short so the idle
+        // deadline and the stop flag are both honored promptly.
+        match buf.fill(&mut stream) {
+            Ok(0) => break, // peer closed
+            Ok(_) => last_activity = Instant::now(),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) && buf.buffered() == 0 {
+                    break;
+                }
+                if last_activity.elapsed() >= idle_timeout {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    metrics::requests_per_conn().record(served as f64);
+}
+
+/// Best-effort bounded read-to-idle, so an error close does not reset
+/// the connection under the response. One `READ_POLL` of quiet (or
+/// 256 KiB drained) is enough — this only smooths the error path.
+fn drain_excess(stream: &mut TcpStream) {
+    use std::io::Read as _;
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 256 * 1024 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn flush(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if out.is_empty() {
+        return Ok(());
+    }
+    let result = stream.write_all(out);
+    out.clear();
+    result
+}
+
+/// Routes one parsed request and writes its response (headers + body)
+/// into the connection's write buffer.
+fn serve_request(shared: &Shared, request: &http::Request, out: &mut Vec<u8>, keep_alive: bool) {
+    let _span = nvm_llc_obs::span!("serve_handle");
     let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
-    let (status, content_type, body) = route(shared, &request);
+    let (status, content_type, body) = route(shared, request);
     let elapsed = start.elapsed();
     metrics::request_seconds().record(elapsed.as_secs_f64());
     shared.counters.count_status(status);
@@ -547,7 +881,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         "status" => u64::from(status),
         "micros" => elapsed.as_micros() as u64,
     );
-    let _ = http::respond(&mut stream, status, content_type, &body);
+    let _ = http::respond_conn(out, status, content_type, &body, keep_alive);
 }
 
 fn route(shared: &Shared, request: &http::Request) -> (u16, &'static str, String) {
@@ -559,7 +893,7 @@ fn route(shared: &Shared, request: &http::Request) -> (u16, &'static str, String
         "/statsz" => (200, "application/json", render_statsz(shared)),
         "/metricsz" => (200, "text/plain; version=0.0.4", render_metricsz(shared)),
         "/eval" | "/row" => {
-            let (status, body) = eval_endpoint(shared, request);
+            let (status, body) = eval_or_forward(shared, request);
             (status, "application/json", body)
         }
         _ => (404, "application/json", error_json("unknown path")),
@@ -576,7 +910,7 @@ fn models_for(set: &str) -> Option<Vec<LlcModel>> {
 }
 
 /// A validated evaluation request: everything that identifies its
-/// output, and therefore its coalescing key.
+/// output, and therefore its coalescing key and its shard owner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct EvalRequest {
     /// `None`: full row; `Some(tech)`: one cell.
@@ -593,6 +927,17 @@ impl EvalRequest {
             self.tech.as_deref().unwrap_or("<row>"),
             self.models,
             self.workload,
+            self.accesses,
+        )
+    }
+
+    /// The request's point in the persist keyspace — what the cluster
+    /// shards on.
+    fn route_key(&self) -> nvm_llc_store::Key {
+        persist::request_key(
+            &self.models,
+            &self.workload,
+            self.tech.as_deref(),
             self.accesses,
         )
     }
@@ -648,11 +993,94 @@ fn parse_eval_request(shared: &Shared, request: &http::Request) -> Result<EvalRe
     })
 }
 
-fn eval_endpoint(shared: &Shared, request: &http::Request) -> (u16, String) {
+/// `/eval` and `/row`: validate, then either evaluate here or forward
+/// to the owning shard, depending on this server's role.
+fn eval_or_forward(shared: &Shared, request: &http::Request) -> (u16, String) {
     let parsed = match parse_eval_request(shared, request) {
         Ok(parsed) => parsed,
         Err(message) => return (400, error_json(&message)),
     };
+    match &shared.role {
+        Role::Node => eval_parsed(shared, &parsed),
+        Role::Shard(state) => shard_dispatch(shared, state, request, &parsed),
+        Role::Router(state) => router_forward(state, request, &parsed),
+    }
+}
+
+/// Shard placement: evaluate owned (or already-hopped) requests
+/// locally, forward the rest one hop to the owner, and fall back to a
+/// local evaluation whenever the owner cannot answer — the
+/// location-independent persist keys make the local answer
+/// byte-identical, so availability never costs correctness.
+fn shard_dispatch(
+    shared: &Shared,
+    state: &ClusterState,
+    request: &http::Request,
+    parsed: &EvalRequest,
+) -> (u16, String) {
+    let owner = state.map.owner(&parsed.route_key());
+    let hopped = request.header(HOP_HEADER).is_some();
+    if Some(owner) == state.self_id {
+        metrics::proxy_hops("local").inc();
+        return eval_parsed(shared, parsed);
+    }
+    if hopped {
+        // Single-hop invariant: a forwarded request never forwards
+        // again, whatever this node thinks the map says.
+        metrics::proxy_hops("fallback").inc();
+        state.fallbacks.fetch_add(1, Ordering::Relaxed);
+        return eval_parsed(shared, parsed);
+    }
+    match state.peers[owner].get(&request.raw_target, &[(HOP_HEADER, "1")]) {
+        Ok((status, body)) if status < 500 => {
+            metrics::proxy_hops("forwarded").inc();
+            state.forwards[owner].fetch_add(1, Ordering::Relaxed);
+            (status, body)
+        }
+        // Owner down or failing: answer it ourselves.
+        Ok(_) | Err(_) => {
+            metrics::proxy_hops("fallback").inc();
+            state.fallbacks.fetch_add(1, Ordering::Relaxed);
+            eval_parsed(shared, parsed)
+        }
+    }
+}
+
+/// Router placement: forward to the owner; if the owner is unreachable,
+/// walk the remaining shards in ring order — each carries the hop
+/// marker, so whichever shard answers evaluates locally and the
+/// response stays byte-identical.
+fn router_forward(
+    state: &ClusterState,
+    request: &http::Request,
+    parsed: &EvalRequest,
+) -> (u16, String) {
+    let owner = state.map.owner(&parsed.route_key());
+    let n = state.peers.len();
+    for attempt in 0..n {
+        let peer = (owner + attempt) % n;
+        match state.peers[peer].get(&request.raw_target, &[(HOP_HEADER, "1")]) {
+            Ok((status, body)) if status < 500 => {
+                metrics::proxy_hops(if attempt == 0 {
+                    "forwarded"
+                } else {
+                    "fallback"
+                })
+                .inc();
+                if attempt > 0 {
+                    state.fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                state.forwards[peer].fetch_add(1, Ordering::Relaxed);
+                return (status, body);
+            }
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    (502, error_json("no shard reachable"))
+}
+
+/// Evaluates one validated request behind the coalescing map.
+fn eval_parsed(shared: &Shared, parsed: &EvalRequest) -> (u16, String) {
     let key = parsed.key();
     let (slot, leader) = {
         let mut map = shared.coalesce.lock().expect("coalesce lock");
@@ -676,7 +1104,7 @@ fn eval_endpoint(shared: &Shared, request: &http::Request) -> (u16, String) {
             Err((status, body)) => (status, body),
         };
     }
-    let outcome = evaluate(shared, &parsed);
+    let outcome = evaluate(shared, parsed);
     slot.publish(match &outcome {
         Ok(body) => Ok(Arc::new(body.clone())),
         Err(err) => Err(err.clone()),
@@ -746,6 +1174,14 @@ fn run_evaluation(shared: &Shared, request: &EvalRequest) -> Result<String, (u16
     })
 }
 
+/// Seconds since `started`, at millisecond resolution, rounded up — a
+/// daemon that has served even one request never reports an uptime of
+/// zero.
+fn uptime_seconds(started: Instant) -> u64 {
+    let ms = started.elapsed().as_millis() as u64;
+    ms.div_ceil(1000)
+}
+
 fn render_statsz(shared: &Shared) -> String {
     let queue_depth = shared.queue.lock().expect("queue lock").len();
     let c = &shared.counters;
@@ -768,20 +1204,26 @@ fn render_statsz(shared: &Shared) -> String {
         }
         None => "null".to_owned(),
     };
+    let cluster = match &shared.role {
+        Role::Node => "null".to_owned(),
+        Role::Shard(state) | Role::Router(state) => state.render_json(),
+    };
     let tc = nvm_llc_sim::tape::cache::stats();
     sync_scrape_gauges(shared);
     format!(
         "{{\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\
-         \"inflight_evals\":{},\"requests\":{},\"coalesce_hits\":{},\
+         \"inflight_evals\":{},\"connections\":{},\"requests\":{},\"coalesce_hits\":{},\
          \"rejected_queue_full\":{},\"rejected_busy\":{},\"evaluations\":{},\
          \"store\":{store},\"tape_cache\":{{\"hits\":{},\"misses\":{},\
          \"store_hits\":{},\"resident_bytes\":{},\"evictions\":{}}},\
          \"uptime_seconds\":{},\"build\":{{\"version\":\"{}\",\"git_hash\":\"{}\"}},\
          \"requests_by_class\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\
+         \"cluster\":{cluster},\
          \"metrics\":{}}}",
         shared.config.queue_capacity,
         shared.config.workers,
         shared.inflight_evals.load(Ordering::SeqCst),
+        c.connections.load(Ordering::Relaxed),
         c.requests.load(Ordering::Relaxed),
         c.coalesce_hits.load(Ordering::Relaxed),
         c.rejected_queue_full.load(Ordering::Relaxed),
@@ -792,7 +1234,7 @@ fn render_statsz(shared: &Shared) -> String {
         tc.store_hits,
         tc.resident_bytes,
         tc.evictions,
-        shared.started.elapsed().as_secs(),
+        uptime_seconds(shared.started),
         BUILD_VERSION,
         BUILD_GIT_HASH,
         c.by_class[0].load(Ordering::Relaxed),
@@ -815,7 +1257,7 @@ const BUILD_GIT_HASH: &str = env!("NVM_LLC_BUILD_GIT_HASH");
 /// Refreshes the gauges that are cheaper to set at scrape time than to
 /// maintain on every transition.
 fn sync_scrape_gauges(shared: &Shared) {
-    metrics::uptime_seconds().set(shared.started.elapsed().as_secs());
+    metrics::uptime_seconds().set(uptime_seconds(shared.started));
     metrics::queue_depth().set(shared.queue.lock().expect("queue lock").len() as u64);
     metrics::inflight_evals().set(shared.inflight_evals.load(Ordering::SeqCst) as u64);
 }
@@ -863,13 +1305,28 @@ pub mod signals {
 /// Runs the daemon: start, serve until SIGTERM/SIGINT, drain, report.
 /// This is the whole of `nvm-llcd` and of `nvm-llc serve`.
 pub fn run(config: ServeConfig) -> std::io::Result<()> {
+    let shard = config
+        .cluster
+        .as_ref()
+        .map(|c| format!("shard {}/{}", c.shard_id, c.shard_count));
+    serve_until_signal(Server::start(config)?, shard.as_deref())
+}
+
+/// Runs a thin router until SIGTERM/SIGINT. This is the whole of
+/// `nvm-llc route`.
+pub fn run_router(config: RouterConfig) -> std::io::Result<()> {
+    let role = format!("router over {} shards", config.peers.len());
+    serve_until_signal(Server::start_router(config)?, Some(&role))
+}
+
+fn serve_until_signal(server: Server, role: Option<&str>) -> std::io::Result<()> {
     // The daemon defaults to lifecycle logging; NVM_LLC_LOG still wins.
     nvm_llc_obs::log::set_default_level(nvm_llc_obs::log::Level::Info);
     signals::install();
-    let server = Server::start(config)?;
     nvm_llc_obs::info!(
         "serve", "listening";
         "addr" => format!("http://{}", server.addr()),
+        "role" => role.unwrap_or("standalone"),
         "version" => BUILD_VERSION,
         "git_hash" => BUILD_GIT_HASH,
     );
@@ -907,6 +1364,10 @@ mod tests {
             "5000",
             "--store-dir",
             "/tmp/x",
+            "--max-requests-per-conn",
+            "64",
+            "--idle-timeout-ms",
+            "250",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -919,6 +1380,48 @@ mod tests {
         assert_eq!(c.eval_threads, 3);
         assert_eq!(c.base_accesses, 5000);
         assert_eq!(c.store_dir, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(c.max_requests_per_conn, 64);
+        assert_eq!(c.idle_timeout_ms, 250);
+        assert!(c.cluster.is_none());
+    }
+
+    #[test]
+    fn parse_args_assembles_the_cluster_triple() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let c = ServeConfig::parse_args(&s(&[
+            "--shard-id",
+            "1",
+            "--shard-count",
+            "3",
+            "--peers",
+            "a:1,b:2,c:3",
+        ]))
+        .unwrap();
+        let cluster = c.cluster.expect("cluster mode");
+        assert_eq!(cluster.shard_id, 1);
+        assert_eq!(cluster.shard_count, 3);
+        assert_eq!(cluster.peers.len(), 3);
+        // Partial triples and inconsistent ones are rejected.
+        assert!(ServeConfig::parse_args(&s(&["--shard-id", "0"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&["--peers", "a:1,b:2"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&[
+            "--shard-id",
+            "3",
+            "--shard-count",
+            "3",
+            "--peers",
+            "a:1,b:2,c:3",
+        ]))
+        .is_err());
+        assert!(ServeConfig::parse_args(&s(&[
+            "--shard-id",
+            "0",
+            "--shard-count",
+            "2",
+            "--peers",
+            "a:1,b:2,c:3",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -928,6 +1431,8 @@ mod tests {
         assert!(ServeConfig::parse_args(&s(&["--workers"])).is_err());
         assert!(ServeConfig::parse_args(&s(&["--workers", "0"])).is_err());
         assert!(ServeConfig::parse_args(&s(&["--base-accesses", "x"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&["--max-requests-per-conn", "0"])).is_err());
+        assert!(ServeConfig::parse_args(&s(&["--idle-timeout-ms", "0"])).is_err());
         assert!(ServeConfig::parse_args(&[]).is_ok());
     }
 
@@ -945,6 +1450,7 @@ mod tests {
         assert_eq!(status, 200);
         assert!(stats.contains("\"queue_depth\":"), "{stats}");
         assert!(stats.contains("\"store\":null"), "{stats}");
+        assert!(stats.contains("\"cluster\":null"), "{stats}");
         assert_eq!(request(addr, "/nope").0, 404);
         assert_eq!(request(addr, "/eval?workload=zzz&tech=Jan_S").0, 400);
         assert_eq!(request(addr, "/eval?workload=tonto").0, 400);
@@ -955,6 +1461,16 @@ mod tests {
             "accesses below range"
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn uptime_rounds_up_from_millisecond_resolution() {
+        // A freshly started instant has elapsed less than a second but
+        // more than zero work has happened; the report must not be 0.
+        let started = Instant::now() - Duration::from_millis(5);
+        assert_eq!(uptime_seconds(started), 1);
+        let older = Instant::now() - Duration::from_millis(2_400);
+        assert_eq!(uptime_seconds(older), 3, "2.4s rounds up to 3");
     }
 
     #[test]

@@ -76,6 +76,23 @@ pub fn result_store_key(system: &System, trace: &Trace) -> Key {
     derive_key("result", &w.into_bytes())
 }
 
+/// Store-keyspace routing key of one service request, derivable by
+/// anything that can see the request line — in particular a router that
+/// holds no simulator state. Digests the full request identity
+/// (`models` set, workload, optional technology, access count) under
+/// its own namespace tag, so the cluster shards the same 128-bit
+/// keyspace the persisted artifacts live in: every node and every
+/// router derives the same owner for the same request.
+pub fn request_key(models: &str, workload: &str, tech: Option<&str>, accesses: usize) -> Key {
+    let mut w = Writer::new();
+    w.str(models)
+        .str(workload)
+        .bool(tech.is_some())
+        .str(tech.unwrap_or(""))
+        .u64(accesses as u64);
+    derive_key("route", &w.into_bytes())
+}
+
 fn encode_stats(w: &mut Writer, s: &SimStats) {
     w.u64(s.instructions)
         .u64(s.accesses)
@@ -372,6 +389,29 @@ mod tests {
         assert_ne!(
             tape_store_key(&system.tape_key(&a)).hex(),
             result_store_key(&system, &a).hex(),
+        );
+    }
+
+    #[test]
+    fn request_keys_separate_every_identity_axis() {
+        let base = request_key("fixed_capacity", "tonto", None, 20_000);
+        assert_eq!(
+            base,
+            request_key("fixed_capacity", "tonto", None, 20_000),
+            "same request, same key, any process"
+        );
+        for other in [
+            request_key("fixed_area", "tonto", None, 20_000),
+            request_key("fixed_capacity", "x264", None, 20_000),
+            request_key("fixed_capacity", "tonto", Some("Jan"), 20_000),
+            request_key("fixed_capacity", "tonto", None, 40_000),
+        ] {
+            assert_ne!(base, other);
+        }
+        // A row and a cell whose tech string is empty stay distinct.
+        assert_ne!(
+            request_key("fixed_capacity", "tonto", None, 20_000),
+            request_key("fixed_capacity", "tonto", Some(""), 20_000),
         );
     }
 

@@ -202,6 +202,26 @@ impl Key {
         format!("{:032x}", self.0)
     }
 
+    /// The raw 128-bit digest — the content-addressed keyspace a
+    /// cluster shards over.
+    pub fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// The key folded onto a 64-bit hash ring: both halves of the
+    /// digest mixed, so keys differing only in their high bits still
+    /// land on distinct ring points.
+    pub fn ring_point(&self) -> u64 {
+        let hi = (self.0 >> 64) as u64;
+        let lo = self.0 as u64;
+        // Same finalizer family as splitmix64: cheap, well distributed,
+        // and identical on every node — shard maps must agree.
+        let mut x = hi ^ lo.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
     fn from_hex(stem: &str) -> Option<Key> {
         if stem.len() != 32 {
             return None;

@@ -1,0 +1,219 @@
+//! End-to-end tests of consistent-hash cluster serving: a 3-shard
+//! cluster plus a thin router serves `/row` byte-identical to a direct
+//! evaluation, every shard takes traffic, a non-owner shard proxies (or
+//! falls back) transparently, and a shard restart warm-reloads from its
+//! store.
+
+use std::net::{SocketAddr, TcpListener};
+
+use nvm_llc::prelude::*;
+use nvm_llc::serve::cluster::{ClusterConfig, RouterConfig, ShardMap};
+use nvm_llc::serve::{http, json, ServeConfig, Server};
+use nvm_llc::sim::persist;
+
+const SHARDS: usize = 3;
+const ACCESSES: usize = 6_000;
+
+/// Extracts the integer field `"name":N` that follows `anchor` in a
+/// rendered `/statsz` body.
+fn field_after(stats: &str, anchor: &str, name: &str) -> u64 {
+    let start = stats.find(anchor).unwrap_or(0);
+    let pattern = format!("\"{name}\":");
+    let at = stats[start..].find(&pattern).expect(&pattern) + start + pattern.len();
+    stats[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+/// Reserves `n` distinct loopback ports: bind, record, drop.
+fn reserve_ports(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("reserved addr"))
+        .collect()
+}
+
+fn shard_config(dir: &std::path::Path, peers: &[String], id: usize) -> ServeConfig {
+    ServeConfig {
+        addr: peers[id].clone(),
+        workers: 4,
+        base_accesses: ACCESSES,
+        store_dir: Some(dir.join(format!("shard-{id}"))),
+        cluster: Some(ClusterConfig {
+            shard_id: id,
+            shard_count: peers.len(),
+            peers: peers.to_vec(),
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+fn start_cluster(dir: &std::path::Path) -> (Vec<Server>, Server, Vec<String>) {
+    let peers: Vec<String> = reserve_ports(SHARDS)
+        .into_iter()
+        .map(|a| a.to_string())
+        .collect();
+    let shards: Vec<Server> = (0..SHARDS)
+        .map(|id| Server::start(shard_config(dir, &peers, id)).expect("start shard"))
+        .collect();
+    let router = Server::start_router(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        peers: peers.clone(),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    (shards, router, peers)
+}
+
+/// One `(workload, accesses)` row request owned by each shard — the
+/// ring is deterministic, so so is this search.
+fn rows_covering_all_shards() -> Vec<(String, usize)> {
+    let map = ShardMap::new(SHARDS);
+    let mut picks: Vec<Option<(String, usize)>> = vec![None; SHARDS];
+    for workload in ["tonto", "x264", "milc", "leela", "ua", "lu"] {
+        for step in 0..SHARDS {
+            let accesses = ACCESSES + step * 500;
+            let key = persist::request_key("fixed_capacity", workload, None, accesses);
+            if picks[map.owner(&key)].is_none() {
+                picks[map.owner(&key)] = Some((workload.to_owned(), accesses));
+            }
+        }
+    }
+    picks
+        .into_iter()
+        .map(|p| p.expect("a row owned by every shard"))
+        .collect()
+}
+
+fn expected_row(workload: &str, accesses: usize) -> String {
+    let models = reference::fixed_capacity();
+    let baseline = reference::by_name(&models, "SRAM").unwrap();
+    let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+    let row = Evaluator::new(baseline, nvms)
+        .base_accesses(accesses)
+        .run_workload(&workloads::by_name(workload).unwrap());
+    json::render_row(&row)
+}
+
+#[test]
+fn routed_rows_are_byte_identical_and_every_shard_serves() {
+    let dir = std::env::temp_dir().join(format!("nvm-llc-cluster-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (shards, router, _) = start_cluster(&dir);
+
+    let rows = rows_covering_all_shards();
+    for (workload, accesses) in &rows {
+        let target = format!("/row?workload={workload}&accesses={accesses}");
+        let (status, via_router) = http::get(router.addr(), &target).unwrap();
+        assert_eq!(status, 200, "{target}: {via_router}");
+        assert_eq!(
+            via_router,
+            expected_row(workload, *accesses),
+            "routed row must be byte-identical to a direct evaluation ({target})"
+        );
+    }
+
+    // Every shard answered its routed row (plus this /statsz probe).
+    for (id, shard) in shards.iter().enumerate() {
+        let (status, stats) = http::get(shard.addr(), "/statsz").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            field_after(&stats, "", "requests") >= 2,
+            "shard {id} served nothing: {stats}"
+        );
+        assert!(
+            stats.contains("\"role\":\"shard\""),
+            "shard statsz must carry the cluster block: {stats}"
+        );
+        assert!(stats.contains("\"map\":{\"shard_count\":3"), "{stats}");
+    }
+    let (status, stats) = http::get(router.addr(), "/statsz").unwrap();
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"role\":\"router\""), "{stats}");
+
+    // A non-owner shard answers a key it does not own, identically:
+    // single-hop proxying (or local fallback) is invisible to clients.
+    let (workload, accesses) = &rows[0];
+    let target = format!("/row?workload={workload}&accesses={accesses}");
+    let map = ShardMap::new(SHARDS);
+    let owner = map.owner(&persist::request_key(
+        "fixed_capacity",
+        workload,
+        None,
+        *accesses,
+    ));
+    let non_owner = (owner + 1) % SHARDS;
+    let (status, via_non_owner) = http::get(shards[non_owner].addr(), &target).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        via_non_owner,
+        expected_row(workload, *accesses),
+        "a non-owner shard must still answer the right bytes"
+    );
+
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_restarted_shard_warm_reloads_from_its_store() {
+    let dir = std::env::temp_dir().join(format!("nvm-llc-restart-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut shards, router, peers) = start_cluster(&dir);
+
+    // Pick the row owned by shard 0 and serve it cold through the
+    // router: the owner computes and persists it.
+    let rows = rows_covering_all_shards();
+    let (workload, accesses) = rows[0].clone();
+    let target = format!("/row?workload={workload}&accesses={accesses}");
+    let owner = ShardMap::new(SHARDS).owner(&persist::request_key(
+        "fixed_capacity",
+        &workload,
+        None,
+        accesses,
+    ));
+    let (status, cold) = http::get(router.addr(), &target).unwrap();
+    assert_eq!(status, 200);
+
+    // Stop the owner (the in-process equivalent of SIGTERM: stop
+    // accepting, drain, exit). The router must keep answering the same
+    // bytes by falling back to a surviving shard.
+    shards.remove(owner).shutdown();
+    let (status, during_outage) = http::get(router.addr(), &target).unwrap();
+    assert_eq!(status, 200, "router must survive a dead shard");
+    assert_eq!(
+        during_outage, cold,
+        "failover must not change a single byte"
+    );
+
+    // Restart the owner on the same address and store directory: the
+    // routed row comes back identical, and entirely from disk.
+    let restarted = Server::start(shard_config(&dir, &peers, owner)).expect("restart shard");
+    let (status, after_restart) = http::get(router.addr(), &target).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        after_restart, cold,
+        "a restart must not change a single byte"
+    );
+    let (_, stats) = http::get(restarted.addr(), "/statsz").unwrap();
+    assert!(
+        field_after(&stats, "\"store\":", "hits") >= 11,
+        "the restarted owner must reload all 11 cells from its store: {stats}"
+    );
+
+    router.shutdown();
+    restarted.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

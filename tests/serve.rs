@@ -153,6 +153,149 @@ fn warm_requests_survive_a_daemon_restart_via_the_store() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Starts a small daemon and hands back a raw client stream plus a
+/// response reader over a clone of it, for transport-level tests that
+/// need byte-exact control of what goes on the wire.
+fn raw_client(server: &Server) -> (std::net::TcpStream, http::ClientConn) {
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let reader = http::ClientConn::from_stream(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+#[test]
+fn pipelined_requests_in_one_segment_get_ordered_responses() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let (mut stream, mut reader) = raw_client(&server);
+    // Three requests in one write: the connection loop must parse and
+    // answer all of them, in order, on the same connection.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /nope HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+    let first = reader.recv().unwrap();
+    assert_eq!((first.status, first.body.as_str()), (200, "ok\n"));
+    assert!(!first.close, "pipelined responses must keep the connection");
+    assert_eq!(reader.recv().unwrap().status, 404);
+    let third = reader.recv().unwrap();
+    assert_eq!((third.status, third.body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn a_request_split_across_writes_still_parses() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let (mut stream, mut reader) = raw_client(&server);
+    // The head arrives in three fragments, the last one splitting the
+    // terminating blank line.
+    for fragment in [
+        "GET /hea".as_bytes(),
+        "lthz HTTP/1.1\r\nHost".as_bytes(),
+        ": x\r\n\r\n".as_bytes(),
+    ] {
+        stream.write_all(fragment).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let response = reader.recv().unwrap();
+    assert_eq!((response.status, response.body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn an_oversized_head_answers_431_and_closes() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let (mut stream, mut reader) = raw_client(&server);
+    let mut head = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    head.extend_from_slice(format!("X-Padding: {}\r\n", "y".repeat(20_000)).as_bytes());
+    // No terminating blank line needed: the head is already oversized.
+    stream.write_all(&head).unwrap();
+    let response = reader.recv().unwrap();
+    assert_eq!(response.status, 431);
+    assert!(response.close, "431 must close: no boundary to recover at");
+    server.shutdown();
+}
+
+#[test]
+fn a_malformed_request_line_answers_400_without_killing_the_connection() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let (mut stream, mut reader) = raw_client(&server);
+    // Garbage request line, then a valid request, in one segment: the
+    // bad head is consumed and answered 400, the good one still served.
+    stream
+        .write_all(b"TOTAL GARBAGE\r\nHost: x\r\n\r\nGET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let bad = reader.recv().unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(!bad.close, "a parse error must not kill the connection");
+    let good = reader.recv().unwrap();
+    assert_eq!((good.status, good.body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connections_honor_the_request_cap_and_close_header() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_requests_per_conn: 3,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut conn = http::ClientConn::connect(server.addr()).unwrap();
+    // Requests 1 and 2 keep the connection; request 3 hits the cap and
+    // carries `Connection: close`.
+    for _ in 0..2 {
+        conn.send("/healthz", &[]).unwrap();
+    }
+    conn.flush().unwrap();
+    assert!(!conn.recv().unwrap().close);
+    assert!(!conn.recv().unwrap().close);
+    conn.send("/healthz", &[]).unwrap();
+    conn.flush().unwrap();
+    assert!(conn.recv().unwrap().close, "request cap must close");
+
+    let (_, stats) = http::get(server.addr(), "/statsz").unwrap();
+    assert!(
+        field_after(&stats, "", "connections") >= 2,
+        "connections must be counted: {stats}"
+    );
+    assert!(
+        field_after(&stats, "", "requests") >= 4,
+        "keep-alive requests must all be counted: {stats}"
+    );
+    server.shutdown();
+}
+
 /// `/metricsz` serves the whole registry in Prometheus text exposition
 /// format: every line is a `# HELP`, a `# TYPE`, or a parsable sample,
 /// and the inventory spans the evaluator, both caches, the store, and
@@ -207,6 +350,9 @@ fn metricsz_is_valid_prometheus_with_a_full_inventory() {
         "nvmllc_store_hits_total",
         "nvmllc_serve_requests_total",
         "nvmllc_serve_handle_seconds",
+        "nvmllc_serve_connections_total",
+        "nvmllc_serve_requests_per_conn",
+        "nvmllc_serve_proxy_hops_total",
     ] {
         assert!(families.contains(family), "missing {family}: {families:?}");
     }
