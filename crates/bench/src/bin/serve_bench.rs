@@ -106,7 +106,13 @@ fn rows_covering_all_shards(shard_count: usize) -> Vec<(String, usize)> {
     for workload in WORKLOADS {
         for step in 0..shard_count {
             let accesses = CLUSTER_ACCESSES + step * 500;
-            let key = persist::request_key("fixed_capacity", workload, None, accesses);
+            let key = persist::request_key(
+                "fixed_capacity",
+                workload,
+                None,
+                accesses,
+                nvm_llc::sim::PolicyKind::Lru,
+            );
             let owner = map.owner(&key);
             if picks[owner].is_none() {
                 picks[owner] = Some((workload.to_owned(), accesses));

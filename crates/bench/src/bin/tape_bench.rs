@@ -15,9 +15,12 @@
 //!
 //! Acceptance bars: `warm_speedup_vs_direct >= 3` (the split),
 //! `batched_speedup_vs_per_tech >= 2` (the SoA chunk kernels; CI's
-//! bench-smoke job holds a tighter 4.4x floor on the same number), and
+//! bench-smoke job holds a tighter 4.4x floor on the same number),
 //! `obs_overhead_pct <= 3` (spans and counters stay out of the hot
-//! path); CI fails the bench-smoke job outside any of them.
+//! path; a median across interleaved rounds so 1-CPU scheduler blips
+//! don't flake it), and `writebacks_endurance < writebacks_lru` (the
+//! endurance-aware replacement policy's measured writeback cut); CI
+//! fails the bench-smoke job outside any of them.
 
 use std::time::Instant;
 
@@ -85,6 +88,7 @@ fn main() {
         }
     });
 
+    let (policy_sram, policy_nvms) = (sram.clone(), nvms.clone());
     let evaluator = Evaluator::new(sram.clone(), nvms.clone())
         .base_accesses(BASE_ACCESSES)
         .seed(SEED)
@@ -139,24 +143,56 @@ fn main() {
     // Observability overhead: the identical warm batched matrix with
     // every span inert (`obs::set_enabled(false)`) against the
     // instrumented default. One repeat of each variant per round,
-    // interleaved, so clock drift and cache warming hit both equally;
-    // best-of across rounds. Counters stay on in both runs — they are
-    // one relaxed atomic op per event — so this isolates the span/clock
-    // cost, which is what the 3% budget is about.
-    let mut instrumented_ms = f64::INFINITY;
-    let mut uninstrumented_ms = f64::INFINITY;
+    // interleaved, so clock drift and cache warming hit both equally.
+    // Each round yields its own instrumented/uninstrumented ratio and
+    // the reported figure is the **median across rounds**: on a 1-CPU
+    // runner a single descheduling blip lands in one round's ratio and
+    // the median discards it, where the old best-of-each-side quotient
+    // paired minima from different rounds and flaked. Counters stay on
+    // in both runs — they are one relaxed atomic op per event — so this
+    // isolates the span/clock cost, which is what the 3% budget is
+    // about.
+    let mut overhead_ratios = Vec::with_capacity(OVERHEAD_REPEATS);
     for _ in 0..OVERHEAD_REPEATS {
         nvm_llc::obs::set_enabled(true);
-        instrumented_ms = instrumented_ms.min(best_of(1, || {
+        let instrumented_ms = best_of(1, || {
             std::hint::black_box(evaluator.run_all(&ws));
-        }));
+        });
         nvm_llc::obs::set_enabled(false);
-        uninstrumented_ms = uninstrumented_ms.min(best_of(1, || {
+        let uninstrumented_ms = best_of(1, || {
             std::hint::black_box(evaluator.run_all(&ws));
-        }));
+        });
+        overhead_ratios.push(instrumented_ms / uninstrumented_ms);
     }
     nvm_llc::obs::set_enabled(true);
-    let obs_overhead_pct = (instrumented_ms / uninstrumented_ms - 1.0) * 100.0;
+    overhead_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median_ratio = overhead_ratios[overhead_ratios.len() / 2];
+    let obs_overhead_pct = (median_ratio - 1.0) * 100.0;
+
+    // The policy axis' headline: endurance-aware victim selection cuts
+    // the matrix's total DRAM writebacks against the LRU default on the
+    // one bench workload whose footprint pressures the 2 MB LLC into
+    // evicting dirty lines (gobmk). CI holds `writebacks_endurance <
+    // writebacks_lru` on this block.
+    let policy_workload = workloads::by_name("gobmk").unwrap();
+    let total_writebacks = |policy: PolicyKind| -> u64 {
+        let row = Evaluator::new(policy_sram.clone(), policy_nvms.clone())
+            .base_accesses(BASE_ACCESSES)
+            .seed(SEED)
+            .threads(1)
+            .policy(policy)
+            .run_workload(&policy_workload);
+        row.baseline.stats.dram_writebacks
+            + row
+                .entries
+                .iter()
+                .map(|e| e.result.stats.dram_writebacks)
+                .sum::<u64>()
+    };
+    let writebacks_lru = total_writebacks(PolicyKind::Lru);
+    let writebacks_endurance = total_writebacks(PolicyKind::Endurance);
+    let writeback_reduction_pct =
+        (1.0 - writebacks_endurance as f64 / writebacks_lru as f64) * 100.0;
 
     let stats = nvm_llc::sim::tape::cache::stats();
     let replay_speedup = fused_ms / replay_ms;
@@ -165,7 +201,7 @@ fn main() {
     let batched_speedup = warm_ms / batched_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {},\n    \"chunk_events\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"decode_ms\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"replay_batched_ms\": {:.3},\n    \"replay_chunked_ms\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2},\n    \"batched_speedup_vs_per_tech\": {:.2}\n  }},\n  \"obs_overhead_pct\": {:.2},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {},\n    \"raw_bytes\": {},\n    \"evictions\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"tape_replay\",\n  \"config\": {{\n    \"workloads\": {},\n    \"technologies\": {},\n    \"base_accesses\": {},\n    \"threads\": 1,\n    \"repeats\": {},\n    \"chunk_events\": {}\n  }},\n  \"phase_ms\": {{\n    \"record_functional\": {:.3},\n    \"replay_timing\": {:.3},\n    \"fused_run\": {:.3},\n    \"decode_ms\": {:.3},\n    \"replay_speedup_vs_fused\": {:.2}\n  }},\n  \"matrix_ms\": {{\n    \"all_direct\": {:.3},\n    \"cold_tape\": {:.3},\n    \"warm_tape\": {:.3},\n    \"replay_batched_ms\": {:.3},\n    \"replay_chunked_ms\": {:.3},\n    \"cold_speedup_vs_direct\": {:.2},\n    \"warm_speedup_vs_direct\": {:.2},\n    \"batched_speedup_vs_per_tech\": {:.2}\n  }},\n  \"obs_overhead_pct\": {:.2},\n  \"policy\": {{\n    \"workload\": \"{}\",\n    \"writebacks_lru\": {},\n    \"writebacks_endurance\": {},\n    \"writeback_reduction_pct\": {:.1}\n  }},\n  \"tape_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"bytes\": {},\n    \"raw_bytes\": {},\n    \"evictions\": {}\n  }}\n}}\n",
         ws.len(),
         models.len(),
         BASE_ACCESSES,
@@ -185,6 +221,10 @@ fn main() {
         warm_speedup,
         batched_speedup,
         obs_overhead_pct,
+        policy_workload.name(),
+        writebacks_lru,
+        writebacks_endurance,
+        writeback_reduction_pct,
         stats.hits,
         stats.misses,
         stats.bytes,
@@ -212,5 +252,11 @@ fn main() {
         obs_overhead_pct <= 3.0,
         "instrumented warm batched replay must stay within 3% of the \
          uninstrumented run (got {obs_overhead_pct:.2}%)"
+    );
+    assert!(
+        writebacks_endurance < writebacks_lru,
+        "the endurance-aware policy must cut total DRAM writebacks vs \
+         LRU on {} (got {writebacks_endurance} vs {writebacks_lru})",
+        policy_workload.name(),
     );
 }

@@ -27,6 +27,7 @@ use nvm_llc::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nvm-llc <artifact> [--scale smoke|default|full] [--threads N]\n\
+         \x20               [--policy lru|random|srrip|drrip|ship|endurance]\n\
          \x20               [--tape-cache-mb N]   (0 lifts the tape-cache bound)\n\
          \x20               [--store-dir PATH]    (persistent result store)\n\
          \x20               [--stats]             (log cache counters on exit)\n\
@@ -67,6 +68,29 @@ fn apply_threads(args: &[String]) -> Result<(), String> {
         }
         _ => Err(format!(
             "bad --threads value {value:?} (want an integer >= 1)"
+        )),
+    }
+}
+
+/// `--policy NAME` pins the LLC replacement policy every evaluation in
+/// this process runs under by exporting `NVM_LLC_POLICY` before any
+/// experiment builds an `Evaluator`. Explicit `Evaluator::policy(..)`
+/// calls still win; without the flag the env var (if set by the caller)
+/// and then LRU apply. An unknown name on the command line is a hard
+/// usage error — only a set-but-invalid *environment* value downgrades
+/// to a warning.
+fn apply_policy(args: &[String]) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--policy") else {
+        return Ok(());
+    };
+    let value = args.get(i + 1).map(String::as_str);
+    match value.and_then(nvm_llc::sim::PolicyKind::parse) {
+        Some(policy) => {
+            std::env::set_var(nvm_llc::sim::POLICY_ENV, policy.name());
+            Ok(())
+        }
+        None => Err(format!(
+            "bad --policy value {value:?} (want one of lru, random, srrip, drrip, ship, endurance)"
         )),
     }
 }
@@ -219,6 +243,10 @@ fn main() -> ExitCode {
         }
     };
     if let Err(e) = apply_threads(&args) {
+        eprintln!("{e}");
+        return usage();
+    }
+    if let Err(e) = apply_policy(&args) {
         eprintln!("{e}");
         return usage();
     }

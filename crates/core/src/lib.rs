@@ -72,8 +72,8 @@ pub mod prelude {
     pub use nvm_llc_circuit::{fixed_area, reference, CacheModeler, LlcModel};
     pub use nvm_llc_prism::{profiler, FeatureKind, FeatureVector};
     pub use nvm_llc_sim::{
-        simulate_hybrid, ArchConfig, Evaluator, HybridConfig, LlcWritePolicy, SimResult, System,
-        WearPolicy, WriteMode,
+        simulate_hybrid, ArchConfig, Evaluator, HybridConfig, LlcWritePolicy, PolicyKind,
+        PolicyMatrix, SimResult, System, WearPolicy, WriteMode,
     };
     pub use nvm_llc_trace::{workloads, Trace, WorkloadProfile};
 }

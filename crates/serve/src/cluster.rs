@@ -237,7 +237,13 @@ mod tests {
         let a = ShardMap::new(3);
         let b = ShardMap::new(3);
         for w in ["tonto", "x264", "milc", "leela", "ua", "lu"] {
-            let key = request_key("fixed_capacity", w, None, 20_000);
+            let key = request_key(
+                "fixed_capacity",
+                w,
+                None,
+                20_000,
+                nvm_llc_sim::PolicyKind::Lru,
+            );
             assert_eq!(a.owner(&key), b.owner(&key), "{w}");
         }
     }

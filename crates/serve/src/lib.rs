@@ -228,7 +228,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nvm_llc_circuit::{reference, LlcModel};
-use nvm_llc_sim::{persist, Evaluator};
+use nvm_llc_sim::{persist, Evaluator, PolicyKind};
 use nvm_llc_store::Store;
 use nvm_llc_trace::workloads;
 
@@ -918,16 +918,20 @@ struct EvalRequest {
     models: String,
     workload: String,
     accesses: usize,
+    /// LLC replacement policy the evaluation runs under (`lru` when the
+    /// request does not say).
+    policy: PolicyKind,
 }
 
 impl EvalRequest {
     fn key(&self) -> String {
         format!(
-            "{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}",
             self.tech.as_deref().unwrap_or("<row>"),
             self.models,
             self.workload,
             self.accesses,
+            self.policy,
         )
     }
 
@@ -939,6 +943,7 @@ impl EvalRequest {
             &self.workload,
             self.tech.as_deref(),
             self.accesses,
+            self.policy,
         )
     }
 }
@@ -972,6 +977,15 @@ fn parse_eval_request(shared: &Shared, request: &http::Request) -> Result<EvalRe
                 )
             })?,
     };
+    let policy = match request.param("policy") {
+        None => PolicyKind::Lru,
+        Some(raw) => PolicyKind::parse(raw).ok_or_else(|| {
+            format!(
+                "unknown policy {raw:?} (want one of lru, random, srrip, \
+                 drrip, ship, endurance)"
+            )
+        })?,
+    };
     let tech = if request.path == "/eval" {
         let tech = request
             .param("tech")
@@ -990,6 +1004,7 @@ fn parse_eval_request(shared: &Shared, request: &http::Request) -> Result<EvalRe
         models: models.to_owned(),
         workload: workload.to_owned(),
         accesses,
+        policy,
     })
 }
 
@@ -1160,7 +1175,8 @@ fn run_evaluation(shared: &Shared, request: &EvalRequest) -> Result<String, (u16
         workloads::by_name(&request.workload).ok_or_else(|| internal("workload vanished"))?;
     let mut evaluator = Evaluator::new(baseline, nvms)
         .base_accesses(request.accesses)
-        .threads(shared.config.eval_threads.max(1));
+        .threads(shared.config.eval_threads.max(1))
+        .policy(request.policy);
     if let Some(store) = &shared.store {
         evaluator = evaluator.store(Arc::clone(store));
     }

@@ -1,17 +1,11 @@
 //! Set-associative cache arrays with pluggable replacement.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::policy::{PolicyState, ReplacementPolicy};
 
-/// Replacement policy for a cache array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum Replacement {
-    /// Least-recently-used (the baseline everywhere in the paper).
-    #[default]
-    Lru,
-    /// Uniform-random victim selection (replacement-sensitivity ablation).
-    Random,
-}
+/// Replacement policy selector for a cache array — re-exported from
+/// [`crate::policy`] under its historical name (the original subsystem
+/// only knew LRU and random).
+pub use crate::policy::PolicyKind as Replacement;
 
 /// A line displaced by an allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,13 +36,21 @@ impl AccessOutcome {
     }
 }
 
+/// One cache line's replacement-relevant state, readable by
+/// [`ReplacementPolicy::victim`] implementations (the tag stays
+/// private — policies decide *which way* dies, not address identity).
 #[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    reused: bool,
-    stamp: u64,
+pub struct Line {
+    pub(crate) tag: u64,
+    /// Whether the line holds a block.
+    pub valid: bool,
+    /// Whether the block has been written since its fill (a dirty
+    /// victim costs a writeback — what the endurance policy avoids).
+    pub dirty: bool,
+    /// Whether the block was re-referenced after its fill.
+    pub reused: bool,
+    /// Recency stamp (the array's access clock at the last touch).
+    pub stamp: u64,
 }
 
 /// A write-back, write-allocate set-associative cache over 64 B block
@@ -82,9 +84,12 @@ pub struct SetAssocCache {
     /// `log2(num_sets)`: the tag is the block address shifted right by
     /// this (equivalent to dividing by the set count).
     set_shift: u32,
-    replacement: Replacement,
+    /// Replacement state, dispatched through
+    /// [`crate::policy::ReplacementPolicy`]. Recency stamps stay on the
+    /// lines themselves (LRU's fast path, and the age source for the
+    /// endurance policy) — the policy owns everything else.
+    policy: PolicyState,
     clock: u64,
-    rng: SmallRng,
     hits: u64,
     misses: u64,
 }
@@ -104,12 +109,16 @@ impl SetAssocCache {
             ways: ways as usize,
             set_mask: num_sets - 1,
             set_shift: num_sets.trailing_zeros(),
-            replacement,
+            policy: PolicyState::new(replacement, num_sets, ways as usize),
             clock: 0,
-            rng: SmallRng::seed_from_u64(0xCAC4E),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The replacement policy this array dispatches through.
+    pub fn replacement(&self) -> Replacement {
+        self.policy.kind()
     }
 
     /// Builds a cache from a capacity/associativity/block geometry.
@@ -151,11 +160,13 @@ impl SetAssocCache {
         let base = set_idx * self.ways;
         let set = &mut self.lines[base..base + self.ways];
 
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut set[way];
             line.stamp = clock;
             line.dirty |= is_write;
             line.reused = true;
             self.hits += 1;
+            self.policy.touch(set_idx, way);
             return AccessOutcome {
                 hit: true,
                 evicted: None,
@@ -163,24 +174,20 @@ impl SetAssocCache {
         }
         self.misses += 1;
 
-        // Victim: first invalid way, else per policy.
+        // Victim: first invalid way (policy unconsulted), else the
+        // policy picks among a full set.
         let victim_idx = match set.iter().position(|l| !l.valid) {
             Some(i) => i,
-            None => match self.replacement {
-                Replacement::Lru => set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.stamp)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set"),
-                Replacement::Random => self.rng.random_range(0..set.len()),
-            },
+            None => self.policy.victim(set_idx, set),
         };
         let victim = set[victim_idx];
-        let evicted = victim.valid.then(|| Eviction {
-            block: (victim.tag << self.set_shift) | set_idx as u64,
-            dirty: victim.dirty,
-            reused: victim.reused,
+        let evicted = victim.valid.then(|| {
+            self.policy.evict(set_idx, victim_idx);
+            Eviction {
+                block: (victim.tag << self.set_shift) | set_idx as u64,
+                dirty: victim.dirty,
+                reused: victim.reused,
+            }
         });
         set[victim_idx] = Line {
             tag,
@@ -189,6 +196,7 @@ impl SetAssocCache {
             reused: false,
             stamp: clock,
         };
+        self.policy.fill(set_idx, victim_idx, block);
         AccessOutcome {
             hit: false,
             evicted,
@@ -204,13 +212,13 @@ impl SetAssocCache {
         let tag = block >> self.set_shift;
         let clock = self.clock;
         let base = set_idx * self.ways;
-        if let Some(line) = self.lines[base..base + self.ways]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        let set = &mut self.lines[base..base + self.ways];
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            let line = &mut set[way];
             line.stamp = clock;
             line.reused = true;
             self.hits += 1;
+            self.policy.touch(set_idx, way);
             true
         } else {
             self.misses += 1;

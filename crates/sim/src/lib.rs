@@ -30,6 +30,7 @@ pub mod dram;
 pub mod endurance;
 pub mod hybrid;
 pub mod persist;
+pub mod policy;
 pub mod result;
 pub mod runner;
 pub mod system;
@@ -41,8 +42,9 @@ pub use config::{ArchConfig, CacheLevelConfig, LlcWritePolicy};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use endurance::{EnduranceReport, EnduranceTracker, WearPolicy};
 pub use hybrid::{simulate_hybrid, HybridConfig, HybridResult, HybridStats};
+pub use policy::{PolicyKind, ReplacementPolicy, POLICY_ENV};
 pub use result::{SimResult, SimStats};
-pub use runner::{Evaluator, MatrixEntry, MatrixRow};
+pub use runner::{Evaluator, MatrixEntry, MatrixRow, PolicyMatrix};
 pub use system::System;
 pub use tape::{
     DecodedEvent, DecodedTape, EventRecord, Outcome, OutcomeTape, TapeKey, REPLAY_CHUNK_EVENTS,

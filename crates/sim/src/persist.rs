@@ -44,7 +44,14 @@ use crate::tape::{EventRecord, OutcomeTape, PackedBlocks, TapeKey};
 /// energy, endurance, functional behavior, or the wire layout below):
 /// records written by older code then miss instead of replaying stale
 /// results.
-pub const MODEL_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — the original functional/timing split keyspace.
+/// * 2 — the replacement-policy subsystem: tape keys carry a six-way
+///   policy tag ([`crate::policy::PolicyKind::persist_tag`]) and
+///   request keys gained a policy axis, so geometry-only keys from
+///   version 1 must never alias a policy-keyed record.
+pub const MODEL_VERSION: u32 = 2;
 
 /// Digests `tag | MODEL_VERSION | payload` into a store key.
 fn derive_key(tag: &str, payload: &[u8]) -> Key {
@@ -79,17 +86,25 @@ pub fn result_store_key(system: &System, trace: &Trace) -> Key {
 /// Store-keyspace routing key of one service request, derivable by
 /// anything that can see the request line — in particular a router that
 /// holds no simulator state. Digests the full request identity
-/// (`models` set, workload, optional technology, access count) under
-/// its own namespace tag, so the cluster shards the same 128-bit
-/// keyspace the persisted artifacts live in: every node and every
-/// router derives the same owner for the same request.
-pub fn request_key(models: &str, workload: &str, tech: Option<&str>, accesses: usize) -> Key {
+/// (`models` set, workload, optional technology, access count,
+/// replacement policy) under its own namespace tag, so the cluster
+/// shards the same 128-bit keyspace the persisted artifacts live in:
+/// every node and every router derives the same owner for the same
+/// request.
+pub fn request_key(
+    models: &str,
+    workload: &str,
+    tech: Option<&str>,
+    accesses: usize,
+    policy: crate::policy::PolicyKind,
+) -> Key {
     let mut w = Writer::new();
     w.str(models)
         .str(workload)
         .bool(tech.is_some())
         .str(tech.unwrap_or(""))
-        .u64(accesses as u64);
+        .u64(accesses as u64)
+        .u8(policy.persist_tag());
     derive_key("route", &w.into_bytes())
 }
 
@@ -394,25 +409,70 @@ mod tests {
 
     #[test]
     fn request_keys_separate_every_identity_axis() {
-        let base = request_key("fixed_capacity", "tonto", None, 20_000);
+        use crate::policy::PolicyKind;
+        let base = request_key("fixed_capacity", "tonto", None, 20_000, PolicyKind::Lru);
         assert_eq!(
             base,
-            request_key("fixed_capacity", "tonto", None, 20_000),
+            request_key("fixed_capacity", "tonto", None, 20_000, PolicyKind::Lru),
             "same request, same key, any process"
         );
         for other in [
-            request_key("fixed_area", "tonto", None, 20_000),
-            request_key("fixed_capacity", "x264", None, 20_000),
-            request_key("fixed_capacity", "tonto", Some("Jan"), 20_000),
-            request_key("fixed_capacity", "tonto", None, 40_000),
+            request_key("fixed_area", "tonto", None, 20_000, PolicyKind::Lru),
+            request_key("fixed_capacity", "x264", None, 20_000, PolicyKind::Lru),
+            request_key(
+                "fixed_capacity",
+                "tonto",
+                Some("Jan"),
+                20_000,
+                PolicyKind::Lru,
+            ),
+            request_key("fixed_capacity", "tonto", None, 40_000, PolicyKind::Lru),
+            request_key("fixed_capacity", "tonto", None, 20_000, PolicyKind::Srrip),
         ] {
             assert_ne!(base, other);
         }
+        // Every policy routes to its own key.
+        let keys: Vec<_> = PolicyKind::ALL
+            .iter()
+            .map(|&p| request_key("fixed_capacity", "tonto", None, 20_000, p))
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
         // A row and a cell whose tech string is empty stay distinct.
         assert_ne!(
-            request_key("fixed_capacity", "tonto", None, 20_000),
-            request_key("fixed_capacity", "tonto", Some(""), 20_000),
+            request_key("fixed_capacity", "tonto", None, 20_000, PolicyKind::Lru),
+            request_key("fixed_capacity", "tonto", Some(""), 20_000, PolicyKind::Lru),
         );
+    }
+
+    /// Golden-key regression pin: the persistent key derivation for one
+    /// fixed (trace, system, policy) triple, frozen at `MODEL_VERSION`
+    /// 2. If any of these hex digests move, either the key derivation
+    /// changed by accident (fix the code) or the observable model
+    /// changed on purpose (bump `MODEL_VERSION` and re-pin here).
+    #[test]
+    fn golden_keys_pin_model_version_2_derivation() {
+        use crate::policy::PolicyKind;
+        let trace = sample_trace();
+        let system = sample_system().with_replacement(PolicyKind::Srrip);
+        let tape_key = tape_store_key(&system.tape_key(&trace)).hex();
+        let result_key = result_store_key(&system, &trace).hex();
+        let route_key = request_key(
+            "fixed_capacity",
+            "tonto",
+            Some("Jan"),
+            1_500,
+            PolicyKind::Srrip,
+        )
+        .hex();
+        let got = format!("tape={tape_key} result={result_key} route={route_key}");
+        let want = "tape=2e88fb236a4a19145fad3dabf603175f \
+                    result=dab4d6cc8671889ee5ce0488db612df7 \
+                    route=0b7521ed755edbaa163a8b8fcbe26ef7";
+        assert_eq!(got, want, "persistent key derivation moved");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use nvm_llc_store::Store;
 use nvm_llc_trace::{Trace, WorkloadProfile};
 
 use crate::config::ArchConfig;
+use crate::policy::{parse_policy, PolicyKind, POLICY_ENV};
 use crate::result::SimResult;
 use crate::system::System;
 use crate::tape::TapeKey;
@@ -150,6 +151,24 @@ pub struct MatrixRow {
     pub entries: Vec<MatrixEntry>,
 }
 
+/// One replacement policy's full matrix: every workload row evaluated
+/// with the LLC running that policy. [`Evaluator::run_matrix`] returns
+/// one of these per requested policy, in request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyMatrix {
+    /// The LLC replacement policy every row of this matrix ran under.
+    pub policy: PolicyKind,
+    /// One row per workload, in input order.
+    pub rows: Vec<MatrixRow>,
+}
+
+impl PolicyMatrix {
+    /// The row for a workload by name.
+    pub fn row(&self, workload: &str) -> Option<&MatrixRow> {
+        self.rows.iter().find(|r| r.workload == workload)
+    }
+}
+
 impl MatrixRow {
     /// The entry for a technology by display or citation name: an exact
     /// match, or a `_`-suffixed variant (`"Kang"` finds `Kang_P`).
@@ -189,6 +208,7 @@ pub struct Evaluator {
     batched: bool,
     tape_cache_bytes: Option<u64>,
     store: Option<Arc<Store>>,
+    policy: Option<PolicyKind>,
 }
 
 impl Evaluator {
@@ -205,7 +225,16 @@ impl Evaluator {
             batched: true,
             tape_cache_bytes: None,
             store: None,
+            policy: None,
         }
+    }
+
+    /// Pins the LLC replacement policy every system in the matrix runs
+    /// under. Takes precedence over [`POLICY_ENV`]; the default is
+    /// [`PolicyKind::Lru`].
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Overrides the cache-warmup fraction (default 25%).
@@ -295,6 +324,23 @@ impl Evaluator {
             .unwrap_or(1)
     }
 
+    /// Replacement policy to use: explicit [`Evaluator::policy`], else
+    /// the `NVM_LLC_POLICY` environment variable, else LRU. An
+    /// unparsable environment value warns once (to stderr) and falls
+    /// through to LRU, mirroring [`Evaluator::effective_threads`].
+    pub fn effective_policy(&self) -> PolicyKind {
+        if let Some(p) = self.policy {
+            return p;
+        }
+        if let Ok(raw) = std::env::var(POLICY_ENV) {
+            match parse_policy(&raw) {
+                Ok(p) => return p,
+                Err(warning) => eprintln!("{warning}"),
+            }
+        }
+        PolicyKind::Lru
+    }
+
     fn config(&self, llc: &LlcModel) -> ArchConfig {
         let mut c = ArchConfig::gainestown(llc.clone());
         if let Some(cores) = self.cores {
@@ -310,19 +356,41 @@ impl Evaluator {
             .expect("one workload in, one row out")
     }
 
-    /// Runs a whole workload list (a full Figure 1a/1b/2a/2b panel).
+    /// Runs a whole workload list (a full Figure 1a/1b/2a/2b panel)
+    /// under [`Evaluator::effective_policy`].
     ///
-    /// Cells are grouped by outcome-tape key — all technologies sharing
-    /// a workload's functional geometry form one group, replayed in a
-    /// single batched pass over one decoded tape
-    /// ([`System::replay_batch`]) — and the groups are distributed over
-    /// [`Evaluator::effective_threads`] scoped workers pulling group
-    /// indices from an atomic queue. Every group is an independent
-    /// deterministic computation over a shared [`Arc<Trace>`], and
-    /// results land in a slot vector indexed by cell, so the output is
-    /// bit-identical to the serial path regardless of worker count,
-    /// scheduling, or whether batching is enabled.
+    /// Equivalent to a one-policy [`Evaluator::run_matrix`]; see there
+    /// for the grouping, scheduling, and persistence story.
     pub fn run_all(&self, workloads: &[WorkloadProfile]) -> Vec<MatrixRow> {
+        self.run_matrix(workloads, &[self.effective_policy()])
+            .pop()
+            .expect("one policy in, one matrix out")
+            .rows
+    }
+
+    /// Runs the full workload × technology matrix once per requested
+    /// replacement policy, in one scheduling pass.
+    ///
+    /// Cells live in a policy-major 3-D grid (policy × workload ×
+    /// technology) and are grouped by outcome-tape key — all
+    /// technologies sharing a workload's functional geometry *and*
+    /// policy form one group, replayed in a single batched pass over one
+    /// decoded tape ([`System::replay_batch`]) — and the groups are
+    /// distributed over [`Evaluator::effective_threads`] scoped workers
+    /// pulling group indices from an atomic queue. Distinct policies
+    /// never share a tape (the policy is part of [`TapeKey`]), but their
+    /// groups interleave in the same worker pool, so a multi-policy
+    /// sweep parallelizes across policies for free. Every group is an
+    /// independent deterministic computation over a shared
+    /// [`Arc<Trace>`], and results land in a slot vector indexed by
+    /// cell, so the output is bit-identical to the serial path
+    /// regardless of worker count, scheduling, or whether batching is
+    /// enabled.
+    pub fn run_matrix(
+        &self,
+        workloads: &[WorkloadProfile],
+        policies: &[PolicyKind],
+    ) -> Vec<PolicyMatrix> {
         let _span = nvm_llc_obs::span!("eval_run_all");
         metrics::runs().inc();
         if let Some(bytes) = self.tape_cache_bytes {
@@ -333,20 +401,29 @@ impl Evaluator {
             .iter()
             .map(|w| w.generate_shared(self.seed, w.scaled_accesses(self.base_accesses)))
             .collect();
-        // Cell grid: workload-major, baseline first then each NVM. One
-        // `System` per technology column — they are trace-independent.
+        // Cell grid: policy-major, then workload-major, baseline first
+        // then each NVM. One `System` per (policy, technology) — they
+        // are trace-independent.
         let width = 1 + self.nvms.len();
-        let cells = workloads.len() * width;
-        let systems: Vec<System> = (0..width)
-            .map(|mi| {
-                let llc = if mi == 0 {
-                    &self.baseline
-                } else {
-                    &self.nvms[mi - 1]
-                };
-                System::new(self.config(llc)).with_warmup(self.warmup)
+        let nworkloads = workloads.len();
+        let cells = policies.len() * nworkloads * width;
+        let cell = |pi: usize, wi: usize, mi: usize| (pi * nworkloads + wi) * width + mi;
+        let systems: Vec<System> = policies
+            .iter()
+            .flat_map(|&policy| {
+                (0..width).map(move |mi| {
+                    let llc = if mi == 0 {
+                        &self.baseline
+                    } else {
+                        &self.nvms[mi - 1]
+                    };
+                    System::new(self.config(llc))
+                        .with_warmup(self.warmup)
+                        .with_replacement(policy)
+                })
             })
             .collect();
+        let system = |pi: usize, mi: usize| &systems[pi * width + mi];
 
         // Persistent-result tier: a cell whose finished result is on
         // disk is filled directly and drops out of scheduling — no
@@ -354,47 +431,51 @@ impl Evaluator {
         // to `None` and the cell simply computes as usual.
         let slots: Vec<OnceLock<SimResult>> = (0..cells).map(|_| OnceLock::new()).collect();
         if let Some(store) = &store {
-            for (wi, trace) in traces.iter().enumerate() {
-                for (mi, system) in systems.iter().enumerate() {
-                    if let Some(result) = store
-                        .get_mapped(&crate::persist::result_store_key(system, trace))
-                        .and_then(|payload| crate::persist::decode_result(&payload))
-                    {
-                        metrics::result_tier_hits().inc();
-                        slots[wi * width + mi]
-                            .set(result)
-                            .unwrap_or_else(|_| unreachable!("cell filled twice"));
+            for pi in 0..policies.len() {
+                for (wi, trace) in traces.iter().enumerate() {
+                    for mi in 0..width {
+                        if let Some(result) = store
+                            .get_mapped(&crate::persist::result_store_key(system(pi, mi), trace))
+                            .and_then(|payload| crate::persist::decode_result(&payload))
+                        {
+                            metrics::result_tier_hits().inc();
+                            slots[cell(pi, wi, mi)]
+                                .set(result)
+                                .unwrap_or_else(|_| unreachable!("cell filled twice"));
+                        }
                     }
                 }
             }
         }
-        let pending = |wi: usize, mi: usize| slots[wi * width + mi].get().is_none();
+        let pending = |pi: usize, wi: usize, mi: usize| slots[cell(pi, wi, mi)].get().is_none();
 
-        // Work items: per workload, the still-unserved technology
-        // columns grouped by tape key (insertion-ordered, so scheduling
-        // stays deterministic). With batching off every column is its
-        // own singleton group.
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (wi, trace) in traces.iter().enumerate() {
-            if self.batched {
-                let mut by_key: Vec<(TapeKey, Vec<usize>)> = Vec::new();
-                for (mi, system) in systems.iter().enumerate() {
-                    if !pending(wi, mi) {
-                        continue;
+        // Work items: per (policy, workload), the still-unserved
+        // technology columns grouped by tape key (insertion-ordered, so
+        // scheduling stays deterministic). With batching off every
+        // column is its own singleton group.
+        let mut groups: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for pi in 0..policies.len() {
+            for (wi, trace) in traces.iter().enumerate() {
+                if self.batched {
+                    let mut by_key: Vec<(TapeKey, Vec<usize>)> = Vec::new();
+                    for mi in 0..width {
+                        if !pending(pi, wi, mi) {
+                            continue;
+                        }
+                        let key = system(pi, mi).tape_key(trace);
+                        match by_key.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, cols)) => cols.push(mi),
+                            None => by_key.push((key, vec![mi])),
+                        }
                     }
-                    let key = system.tape_key(trace);
-                    match by_key.iter_mut().find(|(k, _)| *k == key) {
-                        Some((_, cols)) => cols.push(mi),
-                        None => by_key.push((key, vec![mi])),
-                    }
+                    groups.extend(by_key.into_iter().map(|(_, cols)| (pi, wi, cols)));
+                } else {
+                    groups.extend(
+                        (0..width)
+                            .filter(|&mi| pending(pi, wi, mi))
+                            .map(|mi| (pi, wi, vec![mi])),
+                    );
                 }
-                groups.extend(by_key.into_iter().map(|(_, cols)| (wi, cols)));
-            } else {
-                groups.extend(
-                    (0..width)
-                        .filter(|&mi| pending(wi, mi))
-                        .map(|mi| (wi, vec![mi])),
-                );
             }
         }
 
@@ -404,28 +485,28 @@ impl Evaluator {
         // tier when a store is attached, and freshly computed results
         // are written back (best-effort — a full disk never fails a
         // run).
-        let run_group = |wi: usize, cols: &[usize]| -> Vec<SimResult> {
+        let run_group = |pi: usize, wi: usize, cols: &[usize]| -> Vec<SimResult> {
             if let [mi] = cols {
                 let tape = crate::tape::cache::fetch_with_store(
-                    &systems[*mi],
+                    system(pi, *mi),
                     &traces[wi],
                     store.as_ref(),
                 );
-                return vec![systems[*mi].replay(&tape)];
+                return vec![system(pi, *mi).replay(&tape)];
             }
-            let group: Vec<&System> = cols.iter().map(|&mi| &systems[mi]).collect();
+            let group: Vec<&System> = cols.iter().map(|&mi| system(pi, mi)).collect();
             let tape = crate::tape::cache::fetch_with_store(group[0], &traces[wi], store.as_ref());
             System::replay_batch(&group, &tape)
         };
-        let place = |slots: &[OnceLock<SimResult>], wi: usize, cols: &[usize]| {
+        let place = |slots: &[OnceLock<SimResult>], pi: usize, wi: usize, cols: &[usize]| {
             metrics::groups().inc();
             metrics::cells().add(cols.len() as u64);
-            for (&mi, result) in cols.iter().zip(run_group(wi, cols)) {
+            for (&mi, result) in cols.iter().zip(run_group(pi, wi, cols)) {
                 if let Some(store) = &store {
-                    let key = crate::persist::result_store_key(&systems[mi], &traces[wi]);
+                    let key = crate::persist::result_store_key(system(pi, mi), &traces[wi]);
                     let _ = store.put(&key, &crate::persist::encode_result(&result));
                 }
-                slots[wi * width + mi]
+                slots[cell(pi, wi, mi)]
                     .set(result)
                     .unwrap_or_else(|_| unreachable!("cell computed twice"));
             }
@@ -433,8 +514,8 @@ impl Evaluator {
         let threads = self.effective_threads().min(groups.len().max(1));
         if threads <= 1 {
             // Exact legacy serial path: groups in order, current thread.
-            for (wi, cols) in &groups {
-                place(&slots, *wi, cols);
+            for (pi, wi, cols) in &groups {
+                place(&slots, *pi, *wi, cols);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -442,10 +523,10 @@ impl Evaluator {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
                         let item = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((wi, cols)) = groups.get(item) else {
+                        let Some((pi, wi, cols)) = groups.get(item) else {
                             break;
                         };
-                        place(&slots, *wi, cols);
+                        place(&slots, *pi, *wi, cols);
                     });
                 }
             });
@@ -458,27 +539,33 @@ impl Evaluator {
         // Serial assembly: normalization against each row's baseline is
         // independent of how the cells were scheduled.
         let mut cells = results.into_iter();
-        workloads
+        policies
             .iter()
-            .map(|w| {
-                let baseline = cells.next().expect("baseline cell");
-                let entries = (1..width)
-                    .map(|_| {
-                        let result = cells.next().expect("technology cell");
-                        MatrixEntry {
-                            llc: result.llc_name.clone(),
-                            speedup: result.speedup_vs(&baseline),
-                            energy: result.energy_vs(&baseline),
-                            ed2p: result.ed2p_vs(&baseline),
-                            result,
+            .map(|&policy| PolicyMatrix {
+                policy,
+                rows: workloads
+                    .iter()
+                    .map(|w| {
+                        let baseline = cells.next().expect("baseline cell");
+                        let entries = (1..width)
+                            .map(|_| {
+                                let result = cells.next().expect("technology cell");
+                                MatrixEntry {
+                                    llc: result.llc_name.clone(),
+                                    speedup: result.speedup_vs(&baseline),
+                                    energy: result.energy_vs(&baseline),
+                                    ed2p: result.ed2p_vs(&baseline),
+                                    result,
+                                }
+                            })
+                            .collect();
+                        MatrixRow {
+                            workload: w.name().to_owned(),
+                            baseline,
+                            entries,
                         }
                     })
-                    .collect();
-                MatrixRow {
-                    workload: w.name().to_owned(),
-                    baseline,
-                    entries,
-                }
+                    .collect(),
             })
             .collect()
     }
@@ -647,5 +734,81 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].workload, "tonto");
         assert_eq!(rows[1].workload, "leela");
+    }
+
+    #[test]
+    fn run_matrix_multi_policy_equals_per_policy_run_all() {
+        // One scheduling pass over a multi-policy matrix produces the
+        // same bits as evaluating each policy on its own.
+        let ws: Vec<_> = ["tonto", "leela"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        let policies = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Endurance];
+        let fused = small_evaluator().run_matrix(&ws, &policies);
+        assert_eq!(fused.len(), policies.len());
+        for (matrix, &policy) in fused.iter().zip(&policies) {
+            assert_eq!(matrix.policy, policy);
+            let solo = small_evaluator().policy(policy).run_all(&ws);
+            assert_eq!(matrix.rows, solo, "{policy} matrix diverged");
+        }
+    }
+
+    #[test]
+    fn policies_change_functional_outcomes() {
+        // The axis is real: the policy reshapes the hierarchy's miss
+        // stream. (At smoke scale the 2 MB LLC rarely fills, so the
+        // observable divergence shows up in the L1/L2 miss counts that
+        // feed it.)
+        let w = workloads::by_name("bzip2").unwrap();
+        let lru = small_evaluator().run_workload(&w);
+        let srrip = small_evaluator().policy(PolicyKind::Srrip).run_workload(&w);
+        assert_ne!(
+            lru.baseline.stats.l1d_misses, srrip.baseline.stats.l1d_misses,
+            "SRRIP should reshape the miss stream vs LRU"
+        );
+    }
+
+    #[test]
+    fn default_policy_is_lru() {
+        // run_all with no policy configured is byte-identical to an
+        // explicit LRU request (the pre-policy-axis behavior).
+        let w = workloads::by_name("tonto").unwrap();
+        assert_eq!(
+            small_evaluator().run_workload(&w),
+            small_evaluator().policy(PolicyKind::Lru).run_workload(&w),
+        );
+    }
+
+    #[test]
+    fn endurance_policy_reduces_writebacks_on_write_heavy_row() {
+        // The endurance-aware policy's whole point: steering victims to
+        // clean lines cuts dirty evictions, which are exactly the LLC's
+        // DRAM writebacks. gobmk is the one smoke-scale workload whose
+        // footprint pressures the 2 MB LLC into evicting dirty lines.
+        let w = workloads::by_name("gobmk").unwrap();
+        let lru = small_evaluator().run_workload(&w);
+        let endurance = small_evaluator()
+            .policy(PolicyKind::Endurance)
+            .run_workload(&w);
+        let wb = |row: &MatrixRow| row.baseline.stats.dram_writebacks;
+        assert!(
+            wb(&endurance) < wb(&lru),
+            "endurance writebacks {} should undercut LRU's {}",
+            wb(&endurance),
+            wb(&lru),
+        );
+    }
+
+    #[test]
+    fn parallel_multi_policy_matrix_is_bit_identical_to_serial() {
+        let ws: Vec<_> = ["tonto", "leela"]
+            .iter()
+            .map(|n| workloads::by_name(n).unwrap())
+            .collect();
+        let policies = [PolicyKind::Drrip, PolicyKind::Ship];
+        let serial = small_evaluator().threads(1).run_matrix(&ws, &policies);
+        let parallel = small_evaluator().threads(4).run_matrix(&ws, &policies);
+        assert_eq!(serial, parallel);
     }
 }

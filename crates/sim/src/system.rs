@@ -1757,8 +1757,9 @@ mod tests {
             cores in 1u32..5,
             warmup_idx in 0usize..4,
             llc_idx in 0usize..11,
-            flags in 0u32..64,
+            flags in 0u32..32,
             policy_idx in 0usize..3,
+            repl_idx in 0usize..6,
             mshrs in 0u32..16,
         ) {
             use nvm_llc_trace::{Suite, WorkloadProfile};
@@ -1770,13 +1771,12 @@ mod tests {
             let trace = w.generate(seed, n);
             let models = reference::fixed_capacity();
             // One bit per boolean knob, so every combination is reachable.
-            let (inclusive, prefetch, bypass, random_repl, detailed, endurance) = (
+            let (inclusive, prefetch, bypass, detailed, endurance) = (
                 flags & 1 != 0,
                 flags & 2 != 0,
                 flags & 4 != 0,
                 flags & 8 != 0,
                 flags & 16 != 0,
-                flags & 32 != 0,
             );
             let mut config = ArchConfig::gainestown(models[llc_idx % models.len()].clone())
                 .with_cores(cores)
@@ -1801,10 +1801,11 @@ mod tests {
                 config = config.with_mshrs(mshrs);
             }
             let warmup = [0.0, 0.1, 0.25, 0.5][warmup_idx];
-            let mut system = System::new(config).with_warmup(warmup);
-            if random_repl {
-                system = system.with_replacement(Replacement::Random);
-            }
+            // Every replacement policy must hold the invariant — the
+            // policy shapes the tape, not how it replays.
+            let mut system = System::new(config)
+                .with_warmup(warmup)
+                .with_replacement(Replacement::ALL[repl_idx]);
             if endurance {
                 system = system.with_endurance_tracking(WearPolicy::None);
             }
@@ -1829,6 +1830,7 @@ mod tests {
             warmup_idx in 0usize..4,
             subset in 1u32..2048,
             flags in 0u32..8,
+            repl_idx in 0usize..6,
         ) {
             use nvm_llc_trace::{Suite, WorkloadProfile};
             let w = WorkloadProfile::builder("prop", Suite::Npb)
@@ -1873,7 +1875,11 @@ mod tests {
                 if i % 5 == 0 {
                     config = config.with_differential_writes(0.2 + 0.15 * (i % 4) as f64);
                 }
-                let mut system = System::new(config).with_warmup(warmup);
+                // The replacement policy is a functional knob: shared
+                // across the batch like the other tape-shaping flags.
+                let mut system = System::new(config)
+                    .with_warmup(warmup)
+                    .with_replacement(Replacement::ALL[repl_idx]);
                 if i % 3 == 1 {
                     system = system.with_endurance_tracking(WearPolicy::RotateXor { period: 500 });
                 }

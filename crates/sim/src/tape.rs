@@ -832,10 +832,7 @@ impl TapeKey {
             .u32(self.l2.1)
             .u32(self.l2.2)
             .u64(self.llc_capacity_bytes)
-            .u8(match self.replacement {
-                Replacement::Lru => 0,
-                Replacement::Random => 1,
-            })
+            .u8(self.replacement.persist_tag())
             .u64(self.warmup_bits)
             .bool(self.inclusive_llc)
             .bool(self.l2_prefetch)
@@ -1502,6 +1499,58 @@ mod tests {
                 (262144, 8, 64),
                 2 << 20,
                 Replacement::Random,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                0xABCD,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Srrip,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                0xABCD,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Drrip,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                0xABCD,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Ship,
+                0.25,
+                false,
+                false,
+                false,
+            ),
+            TapeKey::new(
+                1,
+                0xABCD,
+                4,
+                (32768, 8, 64),
+                (262144, 8, 64),
+                2 << 20,
+                Replacement::Endurance,
                 0.25,
                 false,
                 false,

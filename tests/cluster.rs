@@ -79,7 +79,13 @@ fn rows_covering_all_shards() -> Vec<(String, usize)> {
     for workload in ["tonto", "x264", "milc", "leela", "ua", "lu"] {
         for step in 0..SHARDS {
             let accesses = ACCESSES + step * 500;
-            let key = persist::request_key("fixed_capacity", workload, None, accesses);
+            let key = persist::request_key(
+                "fixed_capacity",
+                workload,
+                None,
+                accesses,
+                nvm_llc::sim::PolicyKind::Lru,
+            );
             if picks[map.owner(&key)].is_none() {
                 picks[map.owner(&key)] = Some((workload.to_owned(), accesses));
             }
@@ -147,6 +153,7 @@ fn routed_rows_are_byte_identical_and_every_shard_serves() {
         workload,
         None,
         *accesses,
+        nvm_llc::sim::PolicyKind::Lru,
     ));
     let non_owner = (owner + 1) % SHARDS;
     let (status, via_non_owner) = http::get(shards[non_owner].addr(), &target).unwrap();
@@ -180,6 +187,7 @@ fn a_restarted_shard_warm_reloads_from_its_store() {
         &workload,
         None,
         accesses,
+        nvm_llc::sim::PolicyKind::Lru,
     ));
     let (status, cold) = http::get(router.addr(), &target).unwrap();
     assert_eq!(status, 200);

@@ -148,3 +148,45 @@ fn run_cached_reuses_one_tape_per_geometry() {
     assert_eq!(sram.run_cached(&trace), sram.run(&trace));
     assert_eq!(kang.run_cached(&trace), kang.run(&trace));
 }
+
+mod policy_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The policy axis composes with everything the pool already
+        /// guarantees: for random policies, technology subsets, and
+        /// worker counts, a multi-worker `run_all` is bit-identical to
+        /// the serial path under the same policy.
+        #[test]
+        fn any_policy_matrix_is_worker_count_invariant(
+            policy_idx in 0usize..6,
+            threads in 2usize..6,
+            subset in 1u32..1024,
+            workload_idx in 0usize..3,
+        ) {
+            let policy = PolicyKind::ALL[policy_idx];
+            let models = reference::fixed_capacity();
+            let baseline = reference::by_name(&models, "SRAM").unwrap();
+            let nvms: Vec<_> = models
+                .into_iter()
+                .filter(|m| m.name != "SRAM")
+                .enumerate()
+                .filter(|(i, _)| subset & (1 << i) != 0)
+                .map(|(_, m)| m)
+                .collect();
+            prop_assume!(!nvms.is_empty());
+            let make = || {
+                Evaluator::new(baseline.clone(), nvms.clone())
+                    .base_accesses(3_000)
+                    .policy(policy)
+            };
+            let w = workloads::by_name(["tonto", "leela", "bzip2"][workload_idx]).unwrap();
+            let serial = make().threads(1).run_workload(&w);
+            let parallel = make().threads(threads).run_workload(&w);
+            prop_assert_eq!(serial, parallel);
+        }
+    }
+}

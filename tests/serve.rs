@@ -116,6 +116,49 @@ fn single_cell_matches_direct_evaluation() {
 }
 
 #[test]
+fn a_policy_param_selects_the_replacement_policy_and_bad_names_answer_400() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // A served row under `policy=srrip` is byte-identical to the direct
+    // evaluation with that policy threaded through the evaluator.
+    let models = reference::fixed_capacity();
+    let baseline = reference::by_name(&models, "SRAM").unwrap();
+    let nvms: Vec<_> = models.into_iter().filter(|m| m.name != "SRAM").collect();
+    let row = Evaluator::new(baseline, nvms)
+        .base_accesses(5_000)
+        .policy(PolicyKind::Srrip)
+        .run_workload(&workloads::by_name("leela").unwrap());
+    let expected = json::render_row(&row);
+    let (status, body) = http::get(addr, "/row?workload=leela&accesses=5000&policy=srrip").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, expected, "policy=srrip must reach the evaluator");
+
+    // The same request without a policy is the LRU default — a distinct
+    // cache identity, so the bodies must differ functionally.
+    let (status, lru_body) = http::get(addr, "/row?workload=leela&accesses=5000").unwrap();
+    assert_eq!(status, 200);
+    assert_ne!(
+        lru_body, body,
+        "srrip and the lru default must not alias one cache entry"
+    );
+
+    // Unknown policy names are rejected up front, before any evaluation.
+    let (status, body) = http::get(addr, "/row?workload=leela&accesses=5000&policy=clock").unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        body.contains("unknown policy \"clock\""),
+        "the 400 must name the bad value: {body}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn warm_requests_survive_a_daemon_restart_via_the_store() {
     let dir = std::env::temp_dir().join(format!("nvm-llcd-restart-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
