@@ -22,6 +22,19 @@
 //!   `debug`) controls verbosity; the default is `off`, so instrumented
 //!   binaries stay byte-for-byte quiet unless asked.
 //!
+//! Phase 2 adds two cluster-facing pillars on the same foundations:
+//!
+//! * [`trace`] — per-request distributed tracing. A request that should
+//!   be traced attaches a [`trace::Collector`] to its thread; every
+//!   [`span!`] guard opened while attached is linked into a span tree,
+//!   contexts cross process hops via the `x-nvmllc-trace` header, and
+//!   tail sampling retains only slow/error trees in a bounded
+//!   [`trace::TailBuffer`]. Untraced spans (no collector attached) pay
+//!   one thread-local check.
+//! * [`federate`] — metrics federation: parse peer `/metricsz` scrapes,
+//!   sum counters and merge same-bounds histograms, and re-render one
+//!   cluster-level Prometheus view for `/clusterz`.
+//!
 //! Metric names follow `nvmllc_<subsystem>_<name>_<unit>` (see
 //! DESIGN.md §"Observability"). The registry is canonical by name:
 //! registering the same name twice returns the same instance, which lets
@@ -36,9 +49,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chrome;
+pub mod federate;
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -155,7 +155,7 @@ impl Histogram {
     }
 
     /// Per-bucket counts (non-cumulative), `+Inf` last.
-    fn bucket_counts(&self) -> Vec<u64> {
+    pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
@@ -165,27 +165,34 @@ impl Histogram {
     /// Estimates quantile `q` (0..=1) by linear interpolation inside the
     /// bucket holding the target rank. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let target = (q * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            if seen + c >= target {
-                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                let upper = self.bounds.get(i).copied().unwrap_or(lower);
-                if c == 0 || upper <= lower {
-                    return upper.max(lower);
-                }
-                let into = (target - seen) as f64 / c as f64;
-                return lower + (upper - lower) * into;
-            }
-            seen += c;
-        }
-        *self.bounds.last().unwrap_or(&0.0)
+        quantile_from_counts(&self.bounds, &self.bucket_counts(), q)
     }
+}
+
+/// The quantile estimator shared by live [`Histogram`]s and federated
+/// [`crate::federate::ParsedHistogram`]s: find the bucket holding the
+/// target rank, linearly interpolate inside it. `counts` is
+/// non-cumulative with the `+Inf` bucket last. Returns 0 when empty.
+pub(crate) fn quantile_from_counts(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if seen + c >= target {
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let upper = bounds.get(i).copied().unwrap_or(lower);
+            if c == 0 || upper <= lower {
+                return upper.max(lower);
+            }
+            let into = (target - seen) as f64 / c as f64;
+            return lower + (upper - lower) * into;
+        }
+        seen += c;
+    }
+    *bounds.last().unwrap_or(&0.0)
 }
 
 /// What a registered metric is, for `# TYPE` lines and JSON rendering.

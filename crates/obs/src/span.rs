@@ -3,11 +3,18 @@
 //! recording is on.
 //!
 //! Guards carry their own start time and histogram handle — there is no
-//! thread-local span stack — so nesting is unrestricted and dropping
-//! guards out of order can never panic or misattribute time; each span
-//! simply reports its own wall time. Overlapping spans on one thread
-//! render as nested slices in chrome://tracing because complete events
-//! (`"ph":"X"`) are reconstructed from timestamps alone.
+//! mandatory thread-local span stack — so nesting is unrestricted and
+//! dropping guards out of order can never panic or misattribute time;
+//! each span simply reports its own wall time. Overlapping spans on one
+//! thread render as nested slices in chrome://tracing because complete
+//! events (`"ph":"X"`) are reconstructed from timestamps alone.
+//!
+//! When a [`crate::trace::Collector`] is attached to the thread
+//! ([`crate::trace::attach`]), each guard additionally carries a span
+//! id linked to its innermost open parent and appends a
+//! [`crate::trace::SpanRecord`] to the collector on drop. The trace
+//! stack tolerates out-of-order drops (ids are removed by value, not
+//! popped), so the guarantee above still holds.
 
 use std::time::Instant;
 
@@ -24,6 +31,8 @@ struct SpanInner {
     name: &'static str,
     hist: &'static Histogram,
     start: Instant,
+    /// Present when a trace collector was attached at open time.
+    trace: Option<crate::trace::OpenSpan>,
 }
 
 impl Span {
@@ -38,6 +47,7 @@ impl Span {
             inner: Some(SpanInner {
                 name,
                 hist: hist(),
+                trace: crate::trace::open_span(),
                 start: Instant::now(),
             }),
         }
@@ -57,6 +67,9 @@ impl Drop for Span {
         let elapsed = inner.start.elapsed();
         inner.hist.record(elapsed.as_secs_f64());
         crate::chrome::record(inner.name, inner.start, elapsed);
+        if let Some(open) = inner.trace {
+            crate::trace::close_span(open, inner.name, inner.start, elapsed);
+        }
     }
 }
 

@@ -1,0 +1,899 @@
+//! Per-request distributed tracing: trace contexts carried across
+//! process hops, span-tree collection, and tail-sampled retention.
+//!
+//! A request that should be traced gets a [`Collector`]: a 128-bit
+//! trace id, the hop count, and a bounded buffer of completed
+//! [`SpanRecord`]s. While a collector is [attached](attach) to a
+//! thread, every [`crate::span!`] guard opened on that thread is
+//! assigned a process-unique span id, linked to its innermost open
+//! parent, and appended to the collector on drop. Threads spawned to
+//! help with a traced request capture a [`Handle`] first and re-attach
+//! it, so worker spans stitch into the same tree.
+//!
+//! Crossing a process boundary uses two headers:
+//!
+//! * [`TRACE_HEADER`] (`x-nvmllc-trace`) goes **out** with a proxied
+//!   request: `<trace_id:032x>-<parent_span:016x>-<hop>`. The receiver
+//!   creates its collector from the parsed [`TraceContext`], so its
+//!   spans parent under the sender's proxy span.
+//! * [`SPANS_HEADER`] (`x-nvmllc-trace-spans`) comes **back** on the
+//!   response: the receiver's completed spans, node-labelled and
+//!   compactly encoded ([`Collector::encode_spans`]). The origin
+//!   ingests them ([`Collector::ingest_remote`]) and ends up with one
+//!   span tree spanning every node the request touched.
+//!
+//! Retention is tail-based: the serving layer keeps a whole tree in a
+//! bounded [`TailBuffer`] only when the request turned out slow or
+//! errored. [`TailBuffer::render_json`] backs `/tracez`;
+//! [`TailBuffer::render_chrome`] renders the retained trees in Trace
+//! Event Format with one chrome *process lane per node label*, so a
+//! 3-shard request reads as one timeline across distinct lanes.
+//!
+//! When no collector is attached (the common case — benches, CLI runs,
+//! untraced endpoints) the per-span cost is one thread-local check, so
+//! the existing span-overhead budget is unaffected. Out-of-order span
+//! drops stay harmless: closing a span removes *its own* id from the
+//! open stack wherever it sits, and a guard dropped on a foreign
+//! thread simply skips the stack fix-up and still records.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Request header carrying the trace context to an upstream hop.
+pub const TRACE_HEADER: &str = "x-nvmllc-trace";
+
+/// Response header carrying the hop's completed spans back to the
+/// origin.
+pub const SPANS_HEADER: &str = "x-nvmllc-trace-spans";
+
+/// Spans retained per collector; later spans are counted and dropped.
+pub const MAX_SPANS_PER_TRACE: usize = 512;
+
+/// Spans a hop encodes into [`SPANS_HEADER`] (the most recent ones,
+/// which include the outermost handler spans — they complete last).
+pub const MAX_HEADER_SPANS: usize = 48;
+
+/// SplitMix64 — a tiny, well-mixed permutation for id generation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A per-process random seed so span/trace ids from different nodes of
+/// a cluster never collide in a stitched tree.
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ (u64::from(std::process::id()) << 32))
+    })
+}
+
+/// A fresh process-unique, nonzero span id (zero means "no parent").
+pub fn new_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let id = splitmix64(process_seed().wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed)));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+fn new_trace_id() -> u128 {
+    (u128::from(new_span_id()) << 64) | u128::from(new_span_id())
+}
+
+/// The cross-process trace context: what [`TRACE_HEADER`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every hop of one request.
+    pub trace_id: u128,
+    /// Span id of the sender's span this hop should parent under
+    /// (zero: root).
+    pub parent_span: u64,
+    /// How many process hops the request has taken (0 at the origin).
+    pub hop: u32,
+}
+
+impl TraceContext {
+    /// Renders the header value: `<trace:032x>-<parent:016x>-<hop>`.
+    pub fn encode(&self) -> String {
+        format!(
+            "{:032x}-{:016x}-{}",
+            self.trace_id, self.parent_span, self.hop
+        )
+    }
+
+    /// Parses a header value produced by [`TraceContext::encode`].
+    pub fn parse(raw: &str) -> Option<TraceContext> {
+        let mut parts = raw.trim().splitn(3, '-');
+        let trace_id = u128::from_str_radix(parts.next()?, 16).ok()?;
+        let parent_span = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let hop = parts.next()?.parse().ok()?;
+        Some(TraceContext {
+            trace_id,
+            parent_span,
+            hop,
+        })
+    }
+}
+
+/// One completed span inside a trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (`serve_handle`, `tape_replay_batch`, …).
+    pub name: String,
+    /// Process-unique span id.
+    pub span_id: u64,
+    /// Parent span id (zero: a root of this hop).
+    pub parent_id: u64,
+    /// Start offset from the collector's epoch, microseconds.
+    pub start_micros: f64,
+    /// Duration, microseconds.
+    pub dur_micros: f64,
+    /// Node label for remote-ingested spans; `None` until the trace is
+    /// sealed with the local node's label.
+    pub node: Option<String>,
+}
+
+/// Collects the span tree of one in-flight traced request.
+#[derive(Debug)]
+pub struct Collector {
+    trace_id: u128,
+    hop: u32,
+    root_parent: u64,
+    start: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl Collector {
+    /// Begins collection: a fresh trace for `inbound == None`, or the
+    /// continuation of a remote caller's trace.
+    pub fn begin(inbound: Option<TraceContext>) -> Arc<Collector> {
+        let (trace_id, root_parent, hop) = match inbound {
+            Some(ctx) => (ctx.trace_id, ctx.parent_span, ctx.hop),
+            None => (new_trace_id(), 0, 0),
+        };
+        Arc::new(Collector {
+            trace_id,
+            hop,
+            root_parent,
+            start: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The 128-bit trace id.
+    pub fn trace_id(&self) -> u128 {
+        self.trace_id
+    }
+
+    /// Process-hop count (0: this node is the origin).
+    pub fn hop(&self) -> u32 {
+        self.hop
+    }
+
+    /// The parent span id local roots attach under.
+    pub fn root_parent(&self) -> u64 {
+        self.root_parent
+    }
+
+    /// Microseconds since collection began.
+    pub fn elapsed_micros(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Spans dropped past [`MAX_SPANS_PER_TRACE`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut spans = self.spans.lock().expect("trace collector lock");
+        if spans.len() >= MAX_SPANS_PER_TRACE {
+            drop(spans);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(record);
+    }
+
+    /// Called by span guards on drop.
+    pub(crate) fn record_span(
+        &self,
+        name: &str,
+        span_id: u64,
+        parent_id: u64,
+        start: Instant,
+        dur: Duration,
+    ) {
+        let start_micros = start.saturating_duration_since(self.start).as_secs_f64() * 1e6;
+        self.push(SpanRecord {
+            name: name.to_owned(),
+            span_id,
+            parent_id,
+            start_micros,
+            dur_micros: dur.as_secs_f64() * 1e6,
+            node: None,
+        });
+    }
+
+    /// Appends a synthetic span (queue wait, head parse — phases that
+    /// are measured rather than guarded). Returns its span id.
+    pub fn add_synthetic(
+        &self,
+        name: &str,
+        parent_id: u64,
+        start_micros: f64,
+        dur_micros: f64,
+    ) -> u64 {
+        let span_id = new_span_id();
+        self.push(SpanRecord {
+            name: name.to_owned(),
+            span_id,
+            parent_id,
+            start_micros,
+            dur_micros,
+            node: None,
+        });
+        span_id
+    }
+
+    /// A clone of the collected spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("trace collector lock").clone()
+    }
+
+    /// Seals the tree: labels every still-local span with `node` and
+    /// returns the records. Remote-ingested spans keep their labels.
+    pub fn seal(&self, node: &str) -> Vec<SpanRecord> {
+        let mut spans = self.spans();
+        for span in &mut spans {
+            if span.node.is_none() {
+                span.node = Some(node.to_owned());
+            }
+        }
+        spans
+    }
+
+    /// Encodes this hop's local spans for [`SPANS_HEADER`]:
+    /// `node=<label>;<name>,<id:016x>,<parent:016x>,<start_us>,<dur_us>;…`
+    /// Only the most recent [`MAX_HEADER_SPANS`] are sent — the
+    /// outermost handler spans complete last, so they always survive.
+    pub fn encode_spans(&self, node: &str) -> String {
+        let spans = self.spans.lock().expect("trace collector lock");
+        let skip = spans.len().saturating_sub(MAX_HEADER_SPANS);
+        let mut out = String::with_capacity(64 + (spans.len() - skip) * 64);
+        out.push_str("node=");
+        out.extend(header_safe(node));
+        for span in spans.iter().skip(skip) {
+            // Local spans only: a middle hop never re-exports spans it
+            // ingested (there are none in single-hop routing anyway).
+            if span.node.is_some() {
+                continue;
+            }
+            let _ = write!(
+                out,
+                ";{},{:016x},{:016x},{:.1},{:.1}",
+                header_safe(&span.name).collect::<String>(),
+                span.span_id,
+                span.parent_id,
+                span.start_micros,
+                span.dur_micros,
+            );
+        }
+        out
+    }
+
+    /// Ingests a [`SPANS_HEADER`] value from an upstream response,
+    /// shifting remote start offsets by `base_micros` (the local
+    /// timeline position where the proxy call began) so the stitched
+    /// tree renders on one clock. Malformed entries are skipped.
+    pub fn ingest_remote(&self, header: &str, base_micros: f64) {
+        let mut parts = header.split(';');
+        let node = match parts.next().and_then(|p| p.strip_prefix("node=")) {
+            Some(label) if !label.is_empty() => label.to_owned(),
+            _ => return,
+        };
+        for entry in parts {
+            let fields: Vec<&str> = entry.split(',').collect();
+            let [name, id, parent, start, dur] = fields[..] else {
+                continue;
+            };
+            let (Ok(span_id), Ok(parent_id)) =
+                (u64::from_str_radix(id, 16), u64::from_str_radix(parent, 16))
+            else {
+                continue;
+            };
+            let (Ok(start_micros), Ok(dur_micros)) = (start.parse::<f64>(), dur.parse::<f64>())
+            else {
+                continue;
+            };
+            self.push(SpanRecord {
+                name: name.to_owned(),
+                span_id,
+                parent_id,
+                start_micros: base_micros + start_micros,
+                dur_micros,
+                node: Some(node.clone()),
+            });
+        }
+    }
+}
+
+/// Characters allowed through header encoding; everything else maps to
+/// `_` so structural separators stay unambiguous.
+fn header_safe(raw: &str) -> impl Iterator<Item = char> + '_ {
+    raw.chars().map(|c| {
+        if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '@' | '/') {
+            c
+        } else {
+            '_'
+        }
+    })
+}
+
+struct ThreadTrace {
+    collector: Arc<Collector>,
+    /// Parent for spans opened while the open-span stack is empty.
+    base_parent: u64,
+    /// Ids of spans currently open on this thread, innermost last.
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ThreadTrace>> = const { RefCell::new(None) };
+}
+
+/// Restores the thread's previous trace attachment on drop.
+#[must_use = "detaches on drop; binding to _ detaches immediately"]
+pub struct AttachGuard {
+    prev: Option<ThreadTrace>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|cell| *cell.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Attaches `collector` to the current thread: spans opened until the
+/// guard drops are recorded into it, parented under `base_parent` when
+/// no local span is open.
+pub fn attach(collector: &Arc<Collector>, base_parent: u64) -> AttachGuard {
+    let prev = ACTIVE.with(|cell| {
+        cell.borrow_mut().replace(ThreadTrace {
+            collector: Arc::clone(collector),
+            base_parent,
+            stack: Vec::new(),
+        })
+    });
+    AttachGuard { prev }
+}
+
+/// A sendable snapshot of the thread's trace attachment, for handing
+/// to worker threads: the collector plus the innermost open span at
+/// capture time (the workers' spans parent under it).
+#[derive(Clone)]
+pub struct Handle {
+    collector: Arc<Collector>,
+    parent: u64,
+}
+
+impl Handle {
+    /// Attaches this handle's collector to the current thread.
+    pub fn attach(&self) -> AttachGuard {
+        attach(&self.collector, self.parent)
+    }
+}
+
+/// The current thread's trace attachment, if any.
+pub fn handle() -> Option<Handle> {
+    ACTIVE.with(|cell| {
+        cell.borrow().as_ref().map(|t| Handle {
+            collector: Arc::clone(&t.collector),
+            parent: t.stack.last().copied().unwrap_or(t.base_parent),
+        })
+    })
+}
+
+/// The collector currently attached to this thread, if any.
+pub fn current() -> Option<Arc<Collector>> {
+    ACTIVE.with(|cell| cell.borrow().as_ref().map(|t| Arc::clone(&t.collector)))
+}
+
+/// The context an outbound proxied request should carry: same trace,
+/// parented under the innermost open span, hop count bumped.
+pub fn outbound_context() -> Option<TraceContext> {
+    ACTIVE.with(|cell| {
+        cell.borrow().as_ref().map(|t| TraceContext {
+            trace_id: t.collector.trace_id,
+            parent_span: t.stack.last().copied().unwrap_or(t.base_parent),
+            hop: t.collector.hop + 1,
+        })
+    })
+}
+
+/// An open traced span: issued by [`open_span`] when a collector is
+/// attached, consumed by the span guard's drop.
+pub(crate) struct OpenSpan {
+    collector: Arc<Collector>,
+    span_id: u64,
+    parent_id: u64,
+}
+
+/// Assigns an id to a span opening on this thread and pushes it onto
+/// the open stack. `None` when no collector is attached — the span
+/// guard then carries no trace state at all.
+pub(crate) fn open_span() -> Option<OpenSpan> {
+    ACTIVE.with(|cell| {
+        let mut active = cell.borrow_mut();
+        let t = active.as_mut()?;
+        let parent_id = t.stack.last().copied().unwrap_or(t.base_parent);
+        let span_id = new_span_id();
+        t.stack.push(span_id);
+        Some(OpenSpan {
+            collector: Arc::clone(&t.collector),
+            span_id,
+            parent_id,
+        })
+    })
+}
+
+/// Completes a traced span: removes its id from the open stack (by
+/// value, so out-of-order drops stay harmless; a guard dropped on a
+/// foreign thread skips the fix-up) and appends the record.
+pub(crate) fn close_span(open: OpenSpan, name: &str, start: Instant, dur: Duration) {
+    ACTIVE.with(|cell| {
+        if let Some(t) = cell.borrow_mut().as_mut() {
+            if Arc::ptr_eq(&t.collector, &open.collector) {
+                if let Some(at) = t.stack.iter().rposition(|&id| id == open.span_id) {
+                    t.stack.remove(at);
+                }
+            }
+        }
+    });
+    open.collector
+        .record_span(name, open.span_id, open.parent_id, start, dur);
+}
+
+/// One trace kept by tail sampling.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The 128-bit trace id.
+    pub trace_id: u128,
+    /// The request target that produced it.
+    pub target: String,
+    /// Response status.
+    pub status: u16,
+    /// Why it was kept: `"slow"` or `"error"`.
+    pub reason: &'static str,
+    /// End-to-end handler time, microseconds.
+    pub total_micros: f64,
+    /// The origin node's label.
+    pub node: String,
+    /// The sealed span tree (local + ingested remote spans).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A bounded ring of tail-sampled traces; the oldest is evicted first.
+#[derive(Debug)]
+pub struct TailBuffer {
+    capacity: usize,
+    inner: Mutex<VecDeque<RetainedTrace>>,
+}
+
+impl TailBuffer {
+    /// An empty buffer holding at most `capacity` traces.
+    pub fn new(capacity: usize) -> TailBuffer {
+        TailBuffer {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Retains one trace, evicting the oldest past capacity.
+    pub fn push(&self, trace: RetainedTrace) {
+        let mut inner = self.inner.lock().expect("tail buffer lock");
+        if inner.len() >= self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(trace);
+    }
+
+    /// Retained trace count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("tail buffer lock").len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A clone of the retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<RetainedTrace> {
+        self.inner
+            .lock()
+            .expect("tail buffer lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The `/tracez` JSON body: every retained trace with its span
+    /// tree. Span and parent ids render as 16-hex-digit strings, trace
+    /// ids as 32.
+    pub fn render_json(&self) -> String {
+        let traces = self.snapshot();
+        let mut out = String::with_capacity(128 + traces.len() * 512);
+        let _ = write!(out, "{{\"captured\":{},\"traces\":[", traces.len());
+        for (i, trace) in traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace_id\":\"{:032x}\",\"target\":\"{}\",\"status\":{},\
+                 \"reason\":\"{}\",\"total_us\":{:.1},\"node\":\"{}\",\"spans\":[",
+                trace.trace_id,
+                json_safe(&trace.target),
+                trace.status,
+                trace.reason,
+                trace.total_micros,
+                json_safe(&trace.node),
+            );
+            for (j, span) in trace.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"id\":\"{:016x}\",\"parent\":\"{:016x}\",\
+                     \"node\":\"{}\",\"start_us\":{:.1},\"dur_us\":{:.1}}}",
+                    json_safe(&span.name),
+                    span.span_id,
+                    span.parent_id,
+                    json_safe(span.node.as_deref().unwrap_or("")),
+                    span.start_micros,
+                    span.dur_micros,
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The retained traces in chrome Trace Event Format, one *process
+    /// lane per node label*: `process_name` metadata events name the
+    /// lanes, every span renders as a complete (`"ph":"X"`) event in
+    /// its node's lane, and each trace gets its own `tid` so trees
+    /// stack instead of interleaving.
+    pub fn render_chrome(&self) -> String {
+        let traces = self.snapshot();
+        // Stable lane assignment: first-seen order across all traces.
+        let mut lanes: Vec<String> = Vec::new();
+        let lane_of = |node: &str, lanes: &mut Vec<String>| -> usize {
+            match lanes.iter().position(|l| l == node) {
+                Some(at) => at + 1,
+                None => {
+                    lanes.push(node.to_owned());
+                    lanes.len()
+                }
+            }
+        };
+        let mut events = String::new();
+        for (ti, trace) in traces.iter().enumerate() {
+            for span in &trace.spans {
+                let node = span.node.as_deref().unwrap_or(&trace.node);
+                let pid = lane_of(node, &mut lanes);
+                if !events.is_empty() {
+                    events.push(',');
+                }
+                let _ = write!(
+                    events,
+                    "{{\"name\":\"{}\",\"cat\":\"trace\",\"ph\":\"X\",\"pid\":{pid},\
+                     \"tid\":{},\"ts\":{:.1},\"dur\":{:.1},\"args\":{{\
+                     \"trace_id\":\"{:032x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}}}",
+                    json_safe(&span.name),
+                    ti + 1,
+                    span.start_micros,
+                    span.dur_micros,
+                    trace.trace_id,
+                    span.span_id,
+                    span.parent_id,
+                );
+            }
+        }
+        let mut out = String::with_capacity(events.len() + 256);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, lane) in lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                i + 1,
+                json_safe(lane),
+            );
+        }
+        if !lanes.is_empty() && !events.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&events);
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_safe(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_header_round_trips() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_0123_4567_89ab_cdef_5555_aaaa,
+            parent_span: 0x1234_5678_9abc_def0,
+            hop: 2,
+        };
+        let encoded = ctx.encode();
+        assert_eq!(TraceContext::parse(&encoded), Some(ctx));
+        assert_eq!(TraceContext::parse("garbage"), None);
+        assert_eq!(TraceContext::parse(""), None);
+        assert_eq!(TraceContext::parse("zz-00-1"), None);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = new_span_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate span id");
+        }
+    }
+
+    #[test]
+    fn attached_spans_link_parents_through_nesting() {
+        let _guard = crate::test_enabled_lock();
+        let collector = Collector::begin(None);
+        {
+            let _attach = attach(&collector, 7);
+            let outer = crate::span!("trace_outer");
+            let inner = crate::span!("trace_inner");
+            drop(inner);
+            drop(outer);
+        }
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "trace_inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "trace_outer").unwrap();
+        assert_eq!(inner.parent_id, outer.span_id, "inner parents under outer");
+        assert_eq!(outer.parent_id, 7, "outer parents under the base parent");
+    }
+
+    #[test]
+    fn out_of_order_drops_still_record_and_never_panic() {
+        let _guard = crate::test_enabled_lock();
+        let collector = Collector::begin(None);
+        let _attach = attach(&collector, 0);
+        let a = crate::span!("ooo_a");
+        let b = crate::span!("ooo_b");
+        let c = crate::span!("ooo_c");
+        drop(a);
+        drop(c);
+        drop(b);
+        assert_eq!(collector.spans().len(), 3);
+    }
+
+    #[test]
+    fn detached_threads_record_nothing() {
+        let _guard = crate::test_enabled_lock();
+        let collector = Collector::begin(None);
+        {
+            let _span = crate::span!("untraced");
+        }
+        assert!(collector.spans().is_empty());
+    }
+
+    #[test]
+    fn handles_carry_the_trace_to_worker_threads() {
+        let _guard = crate::test_enabled_lock();
+        let collector = Collector::begin(None);
+        let _attach = attach(&collector, 0);
+        let outer = crate::span!("spawn_site");
+        let handle = handle().expect("attached");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _attach = handle.attach();
+                let _span = crate::span!("worker_span");
+            });
+        });
+        drop(outer);
+        let spans = collector.spans();
+        let worker = spans.iter().find(|s| s.name == "worker_span").unwrap();
+        let site = spans.iter().find(|s| s.name == "spawn_site").unwrap();
+        assert_eq!(
+            worker.parent_id, site.span_id,
+            "worker spans parent under the span open at capture time"
+        );
+    }
+
+    #[test]
+    fn encode_and_ingest_stitch_across_processes() {
+        let _guard = crate::test_enabled_lock();
+        // "Remote" side: a continuation collector records two spans.
+        let remote = Collector::begin(Some(TraceContext {
+            trace_id: 42,
+            parent_span: 99,
+            hop: 1,
+        }));
+        remote.record_span(
+            "remote_handle",
+            11,
+            99,
+            Instant::now(),
+            Duration::from_micros(500),
+        );
+        remote.record_span(
+            "remote_eval",
+            12,
+            11,
+            Instant::now(),
+            Duration::from_micros(400),
+        );
+        let header = remote.encode_spans("shard-2");
+        assert!(header.starts_with("node=shard-2;"), "{header}");
+
+        // Origin side ingests at a 1000 µs timeline offset.
+        let origin = Collector::begin(None);
+        origin.ingest_remote(&header, 1000.0);
+        let spans = origin.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.node.as_deref() == Some("shard-2")));
+        let handle = spans.iter().find(|s| s.name == "remote_handle").unwrap();
+        assert_eq!(handle.span_id, 11);
+        assert_eq!(
+            handle.parent_id, 99,
+            "remote root parents under the proxy span"
+        );
+        assert!(handle.start_micros >= 1000.0, "offsets shift by the base");
+        // Garbage is skipped wholesale or per-entry, never panics.
+        origin.ingest_remote("not-a-header", 0.0);
+        origin.ingest_remote("node=x;bad,entry", 0.0);
+        assert_eq!(origin.spans().len(), 2);
+    }
+
+    #[test]
+    fn collector_bounds_span_count() {
+        let collector = Collector::begin(None);
+        for i in 0..(MAX_SPANS_PER_TRACE + 10) {
+            collector.add_synthetic("flood", 0, i as f64, 1.0);
+        }
+        assert_eq!(collector.spans().len(), MAX_SPANS_PER_TRACE);
+        assert_eq!(collector.dropped(), 10);
+    }
+
+    #[test]
+    fn header_encoding_caps_and_keeps_the_latest_spans() {
+        let collector = Collector::begin(None);
+        for i in 0..(MAX_HEADER_SPANS + 20) {
+            collector.add_synthetic(&format!("s{i}"), 0, i as f64, 1.0);
+        }
+        let header = collector.encode_spans("n");
+        let entries = header.split(';').count() - 1;
+        assert_eq!(entries, MAX_HEADER_SPANS);
+        assert!(
+            header.contains(&format!("s{}", MAX_HEADER_SPANS + 19)),
+            "the last span survives"
+        );
+        assert!(!header.contains(";s0,"), "the earliest spans are shed");
+    }
+
+    #[test]
+    fn tail_buffer_rotates_and_renders() {
+        let buffer = TailBuffer::new(2);
+        for i in 0..3u16 {
+            buffer.push(RetainedTrace {
+                trace_id: u128::from(i),
+                target: format!("/row?i={i}"),
+                status: 200,
+                reason: "slow",
+                total_micros: 1000.0 * f64::from(i + 1),
+                node: "node".into(),
+                spans: vec![SpanRecord {
+                    name: "serve_handle".into(),
+                    span_id: 1,
+                    parent_id: 0,
+                    start_micros: 0.0,
+                    dur_micros: 900.0,
+                    node: None,
+                }],
+            });
+        }
+        assert_eq!(buffer.len(), 2, "capacity evicts the oldest");
+        let json = buffer.render_json();
+        assert!(json.starts_with("{\"captured\":2,\"traces\":["), "{json}");
+        assert!(!json.contains("/row?i=0"), "oldest evicted");
+        assert!(json.contains("/row?i=2"), "newest kept");
+        assert!(json.contains("\"reason\":\"slow\""), "{json}");
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count(), "balanced JSON");
+    }
+
+    #[test]
+    fn chrome_rendering_gives_each_node_its_own_lane() {
+        let buffer = TailBuffer::new(4);
+        buffer.push(RetainedTrace {
+            trace_id: 7,
+            target: "/row?workload=x".into(),
+            status: 200,
+            reason: "slow",
+            total_micros: 2000.0,
+            node: "router".into(),
+            spans: vec![
+                SpanRecord {
+                    name: "serve_handle".into(),
+                    span_id: 1,
+                    parent_id: 0,
+                    start_micros: 0.0,
+                    dur_micros: 2000.0,
+                    node: Some("router".into()),
+                },
+                SpanRecord {
+                    name: "serve_handle".into(),
+                    span_id: 2,
+                    parent_id: 1,
+                    start_micros: 100.0,
+                    dur_micros: 1800.0,
+                    node: Some("shard-1".into()),
+                },
+            ],
+        });
+        let chrome = buffer.render_chrome();
+        assert!(chrome.contains("\"name\":\"process_name\""), "{chrome}");
+        assert!(
+            chrome.contains("\"args\":{\"name\":\"router\"}"),
+            "{chrome}"
+        );
+        assert!(
+            chrome.contains("\"args\":{\"name\":\"shard-1\"}"),
+            "{chrome}"
+        );
+        assert!(chrome.contains("\"pid\":1"), "{chrome}");
+        assert!(chrome.contains("\"pid\":2"), "two distinct lanes: {chrome}");
+        let opens = chrome.matches('{').count();
+        assert_eq!(opens, chrome.matches('}').count(), "balanced JSON");
+    }
+}

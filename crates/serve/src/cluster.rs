@@ -170,6 +170,11 @@ pub struct RouterConfig {
     pub workers: usize,
     /// Bounded accept queue; a full queue answers `503`.
     pub queue_capacity: usize,
+    /// Tail-sampling slowness threshold in milliseconds: requests at or
+    /// above it retain their span tree in `/tracez`. `None` tracks the
+    /// live p99 of the handler-latency histogram; `Some(0)` captures
+    /// every traced request.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -179,6 +184,7 @@ impl Default for RouterConfig {
             peers: Vec::new(),
             workers: 8,
             queue_capacity: 128,
+            trace_slow_ms: None,
         }
     }
 }
@@ -189,7 +195,9 @@ options:
   --addr HOST:PORT       listen address (default 127.0.0.1:7870)
   --peers A,B,C          shard addresses in shard-id order (required)
   --workers N            connection worker threads (default 8)
-  --queue-capacity N     pending-connection bound; full => 503 (default 128)";
+  --queue-capacity N     pending-connection bound; full => 503 (default 128)
+  --trace-slow-ms N      tail-sample traces at/above N ms (0 = every
+                         traced request; default: track the live p99)";
 
 impl RouterConfig {
     /// Parses router flags (see [`ROUTER_USAGE`]).
@@ -216,6 +224,13 @@ impl RouterConfig {
                     config.queue_capacity = value()?
                         .parse()
                         .map_err(|_| format!("{flag} wants an integer >= 0"))?;
+                }
+                "--trace-slow-ms" => {
+                    config.trace_slow_ms = Some(
+                        value()?
+                            .parse()
+                            .map_err(|_| format!("{flag} wants an integer >= 0"))?,
+                    );
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -325,10 +340,13 @@ mod tests {
             "a:1, b:2 ,c:3",
             "--workers",
             "2",
+            "--trace-slow-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!(c.peers, vec!["a:1", "b:2", "c:3"]);
         assert_eq!(c.workers, 2);
+        assert_eq!(c.trace_slow_ms, Some(250));
         assert!(RouterConfig::parse_args(&s(&[])).is_err(), "peers required");
         assert!(RouterConfig::parse_args(&s(&["--peers", ""])).is_err());
         assert!(RouterConfig::parse_args(&s(&["--peers", "a:1", "--nope"])).is_err());

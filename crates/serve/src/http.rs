@@ -305,14 +305,33 @@ pub fn respond_conn(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    respond_conn_ext(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// [`respond_conn`] with extra response headers (the tracing layer's
+/// span-export header). With an empty `extra` the wire bytes are
+/// identical to [`respond_conn`]'s, by construction — the extra lines
+/// are spliced in before the blank line and nothing else changes.
+pub fn respond_conn_ext(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(String, String)],
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+         Content-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len(),
     )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
     stream.flush()
 }
 
@@ -357,8 +376,20 @@ pub struct Response {
     pub status: u16,
     /// Whether the server announced `Connection: close`.
     pub close: bool,
+    /// Header names (lowercased) and trimmed values, arrival order.
+    pub headers: Vec<(String, String)>,
     /// The exact `Content-Length` body.
     pub body: String,
+}
+
+impl Response {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A client-side keep-alive connection: send one or many pipelined
@@ -435,6 +466,7 @@ impl ClientConn {
             .ok_or_else(|| malformed("bad status line"))?;
         let mut content_length: Option<usize> = None;
         let mut close = false;
+        let mut headers = Vec::new();
         for line in lines {
             if line.is_empty() {
                 break;
@@ -449,6 +481,7 @@ impl ClientConn {
             } else if name == "connection" {
                 close = value.eq_ignore_ascii_case("close");
             }
+            headers.push((name, value.to_owned()));
         }
         let len = content_length.ok_or_else(|| malformed("response without Content-Length"))?;
         // Buffer until the whole body is in.
@@ -469,6 +502,7 @@ impl ClientConn {
         Ok(Response {
             status,
             close,
+            headers,
             body,
         })
     }

@@ -11,6 +11,8 @@
 //! | `/healthz`               | liveness (`ok`) |
 //! | `/statsz`                | queue, coalescing, store, tape-cache, and cluster counters |
 //! | `/metricsz`              | the same registry in Prometheus text exposition |
+//! | `/tracez`                | tail-sampled slow/error span trees (`?format=chrome` for chrome://tracing) |
+//! | `/clusterz`              | every peer's `/metricsz` merged into one cluster-level Prometheus view |
 //!
 //! Optional parameters on `/eval` and `/row`: `models`
 //! (`fixed_capacity`, default, or `fixed_area`) and `accesses`
@@ -57,6 +59,22 @@
 //!   accepting, drains queued and in-flight requests (keep-alive
 //!   connections get `Connection: close` on their next response), then
 //!   joins every worker.
+//!
+//! ## Distributed tracing
+//!
+//! Every `/eval`/`/row` request (and any request arriving with an
+//! `x-nvmllc-trace` header) is traced while span timing is enabled: a
+//! [`nvm_llc_obs::trace::Collector`] follows the request through the
+//! handler, proxy hops carry the context upstream and bring the remote
+//! hop's spans back in a response header, and the stitched tree is
+//! retained in a bounded per-server ring only when the request errored
+//! or ran slower than the tail-sampling threshold
+//! ([`ServeConfig::trace_slow_ms`]; default: the live p99 of the
+//! handler-latency histogram). `GET /tracez` exports the retained
+//! trees as JSON, `GET /tracez?format=chrome` as a chrome://tracing
+//! timeline with one process lane per node. With span timing disabled
+//! ([`nvm_llc_obs::set_enabled`]) no trace headers are emitted and the
+//! wire bytes are identical to an untraced build.
 //!
 //! Responses are rendered by [`json`] with shortest-round-trip floats,
 //! so a served body is byte-identical to rendering the same
@@ -213,6 +231,10 @@ pub mod metrics {
             "nvmllc_serve_handle_seconds",
             "Wall time of the `serve_handle` span.",
         );
+        nvm_llc_obs::metrics::histogram(
+            "nvmllc_proxy_upstream_seconds",
+            "Wall time of one proxy hop to the owning shard.",
+        );
         nvm_llc_sim::runner::metrics::register();
         nvm_llc_sim::tape::cache::metrics::register();
         nvm_llc_trace::cache::metrics::register();
@@ -233,7 +255,11 @@ use nvm_llc_store::Store;
 use nvm_llc_trace::workloads;
 
 use cluster::{ClusterConfig, RouterConfig, ShardMap, HOP_HEADER};
+use nvm_llc_obs::trace::{self, RetainedTrace, TailBuffer, TraceContext};
 use pool::Pool;
+
+/// Retained slow/error traces per server instance.
+const TRACEZ_CAPACITY: usize = 64;
 
 /// Service configuration; every field has a serving-friendly default.
 #[derive(Debug, Clone)]
@@ -261,6 +287,11 @@ pub struct ServeConfig {
     pub idle_timeout_ms: u64,
     /// Consistent-hash shard membership (none: standalone node).
     pub cluster: Option<ClusterConfig>,
+    /// Tail-sampling slowness threshold in milliseconds: traced
+    /// requests at or above it retain their span tree in `/tracez`.
+    /// `None` tracks the live p99 of the handler-latency histogram;
+    /// `Some(0)` captures every traced request.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -276,6 +307,7 @@ impl Default for ServeConfig {
             max_requests_per_conn: 1_000,
             idle_timeout_ms: 5_000,
             cluster: None,
+            trace_slow_ms: None,
         }
     }
 }
@@ -295,7 +327,9 @@ options:
   --idle-timeout-ms N    idle keep-alive connection timeout (default 5000)
   --shard-id N           this node's shard id (cluster mode)
   --shard-count N        total shards on the consistent-hash ring
-  --peers A,B,C          every shard's address, in shard-id order";
+  --peers A,B,C          every shard's address, in shard-id order
+  --trace-slow-ms N      tail-sample traces at/above N ms (0 = every
+                         traced request; default: track the live p99)";
 
 impl ServeConfig {
     /// Parses daemon flags (see [`USAGE`]). Unknown flags, missing
@@ -355,6 +389,13 @@ impl ServeConfig {
                 }
                 "--shard-count" => shard_count = Some(positive(next(&mut it, flag)?, flag)?),
                 "--peers" => peers = Some(cluster::parse_peers(next(&mut it, flag)?)?),
+                "--trace-slow-ms" => {
+                    let raw = next(&mut it, flag)?;
+                    config.trace_slow_ms = Some(
+                        raw.parse()
+                            .map_err(|_| format!("{flag} wants an integer >= 0, got {raw:?}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -519,6 +560,12 @@ struct Shared {
     store: Option<Arc<Store>>,
     started: Instant,
     next_request_id: AtomicU64,
+    /// Tail-sampled slow/error traces, per server instance (tests run
+    /// several servers in one process; a global ring would mix them).
+    tracez: TailBuffer,
+    /// This node's lane label in stitched traces (`shard-N`, `router`,
+    /// or `node`).
+    node_label: String,
 }
 
 /// A running service instance.
@@ -559,6 +606,7 @@ impl Server {
             addr: config.addr,
             workers: config.workers,
             queue_capacity: config.queue_capacity,
+            trace_slow_ms: config.trace_slow_ms,
             // Routers never evaluate; the remaining knobs are inert.
             ..ServeConfig::default()
         };
@@ -575,6 +623,11 @@ impl Server {
             None => None,
         };
         let workers = config.workers.max(1);
+        let node_label = match &role {
+            Role::Shard(state) => format!("shard-{}", state.self_id.unwrap_or(0)),
+            Role::Router(_) => "router".to_owned(),
+            Role::Node => "node".to_owned(),
+        };
         let shared = Arc::new(Shared {
             config,
             role,
@@ -587,6 +640,8 @@ impl Server {
             store,
             started: Instant::now(),
             next_request_id: AtomicU64::new(1),
+            tracez: TailBuffer::new(TRACEZ_CAPACITY),
+            node_label,
         });
         let mut threads = Vec::with_capacity(workers + 1);
         {
@@ -725,8 +780,9 @@ fn worker_loop(shared: &Shared) {
         };
         match stream {
             Some((stream, enqueued)) => {
-                metrics::queue_wait_seconds().record(enqueued.elapsed().as_secs_f64());
-                handle_connection(shared, stream);
+                let queue_wait = enqueued.elapsed();
+                metrics::queue_wait_seconds().record(queue_wait.as_secs_f64());
+                handle_connection(shared, stream, queue_wait);
             }
             None => break,
         }
@@ -746,7 +802,7 @@ const READ_POLL: Duration = Duration::from_millis(200);
 /// exact-length response, write batches back-to-back, and hold the
 /// connection open until the peer closes, an idle timeout passes, the
 /// per-connection request cap is reached, or the server drains.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, mut stream: TcpStream, queue_wait: Duration) {
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
     metrics::connections().inc();
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -759,17 +815,25 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let mut out: Vec<u8> = Vec::new();
     let mut served: u64 = 0;
     let mut last_activity = Instant::now();
+    // The accept-queue wait belongs to the connection's first request;
+    // later requests on the same connection never queued.
+    let mut queue_wait = Some(queue_wait);
 
     'conn: loop {
         // Drain every complete request already buffered, answering each
         // into the write buffer so pipelined responses go out together.
         loop {
+            let parse_started = Instant::now();
             match buf.next_request() {
                 Ok(Some(request)) => {
+                    let phases = PrePhases {
+                        queue_wait: queue_wait.take(),
+                        parse: parse_started.elapsed(),
+                    };
                     served += 1;
                     let draining = shared.stop.load(Ordering::SeqCst);
                     let close = request.close || served >= max_requests || draining;
-                    serve_request(shared, &request, &mut out, !close);
+                    serve_request(shared, &request, &mut out, !close, phases);
                     if close {
                         let _ = flush(&mut stream, &mut out);
                         break 'conn;
@@ -794,7 +858,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     }
                 }
                 Err(http::ParseError::TooLarge) => {
-                    // No head boundary to resynchronize at: close.
+                    // No head boundary to resynchronize at: close. The
+                    // 431 is still a served response and must land in
+                    // requests_per_conn like every other exit path.
+                    served += 1;
                     shared.counters.count_status(431);
                     let _ = http::respond_conn(
                         &mut out,
@@ -863,14 +930,64 @@ fn flush(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
     result
 }
 
+/// Pre-handler phase timings measured by the connection loop: the
+/// accept-queue wait (first request of a connection only) and how long
+/// this request's head took to parse out of the read buffer.
+struct PrePhases {
+    queue_wait: Option<Duration>,
+    parse: Duration,
+}
+
 /// Routes one parsed request and writes its response (headers + body)
 /// into the connection's write buffer.
-fn serve_request(shared: &Shared, request: &http::Request, out: &mut Vec<u8>, keep_alive: bool) {
-    let _span = nvm_llc_obs::span!("serve_handle");
+fn serve_request(
+    shared: &Shared,
+    request: &http::Request,
+    out: &mut Vec<u8>,
+    keep_alive: bool,
+    phases: PrePhases,
+) {
     let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Trace evaluation traffic and anything that arrived with a trace
+    // context, but only while span timing is on — disabled tracing must
+    // leave the wire bytes identical to an untraced build.
+    let inbound = request
+        .header(trace::TRACE_HEADER)
+        .and_then(TraceContext::parse);
+    let traced = nvm_llc_obs::enabled()
+        && (inbound.is_some() || matches!(request.path.as_str(), "/eval" | "/row"));
+    let collector = traced.then(|| trace::Collector::begin(inbound));
+    let _attached = collector
+        .as_ref()
+        .map(|c| trace::attach(c, c.root_parent()));
+    if let Some(collector) = &collector {
+        // The queue and parse phases ended before the collector
+        // existed; backdate them so the timeline runs accept-to-write.
+        let parse_micros = phases.parse.as_secs_f64() * 1e6;
+        if let Some(wait) = phases.queue_wait {
+            let wait_micros = wait.as_secs_f64() * 1e6;
+            collector.add_synthetic(
+                "queue",
+                collector.root_parent(),
+                -(wait_micros + parse_micros),
+                wait_micros,
+            );
+        }
+        collector.add_synthetic(
+            "parse",
+            collector.root_parent(),
+            -parse_micros,
+            parse_micros,
+        );
+    }
+
     let start = Instant::now();
-    let (status, content_type, body) = route(shared, request);
+    let (status, content_type, body) = {
+        let _span = nvm_llc_obs::span!("serve_handle");
+        route(shared, request)
+    };
     let elapsed = start.elapsed();
     metrics::request_seconds().record(elapsed.as_secs_f64());
     shared.counters.count_status(status);
@@ -881,7 +998,110 @@ fn serve_request(shared: &Shared, request: &http::Request, out: &mut Vec<u8>, ke
         "status" => u64::from(status),
         "micros" => elapsed.as_micros() as u64,
     );
-    let _ = http::respond_conn(out, status, content_type, &body, keep_alive);
+
+    let mut extra: Vec<(String, String)> = Vec::new();
+    if let Some(collector) = collector {
+        if collector.hop() > 0 {
+            // Forwarded request: hand our spans back to the caller,
+            // which stitches them under its own proxy span.
+            extra.push((
+                trace::SPANS_HEADER.to_owned(),
+                collector.encode_spans(&shared.node_label),
+            ));
+        } else {
+            finish_trace(shared, request, &collector, status, elapsed);
+        }
+    }
+    let _ = http::respond_conn_ext(out, status, content_type, &body, keep_alive, &extra);
+}
+
+/// Hop-zero trace epilogue: tail-sampling. Retain the sealed span tree
+/// in `/tracez` — and log a structured slow-request line with per-phase
+/// attribution — only when the request errored or ran at/above the
+/// slowness threshold.
+fn finish_trace(
+    shared: &Shared,
+    request: &http::Request,
+    collector: &trace::Collector,
+    status: u16,
+    elapsed: Duration,
+) {
+    let total_micros = elapsed.as_secs_f64() * 1e6;
+    let reason = if status >= 400 {
+        "error"
+    } else if total_micros >= slow_threshold_micros(shared) {
+        "slow"
+    } else {
+        return;
+    };
+    let spans = collector.seal(&shared.node_label);
+    let phase = phase_micros(&spans);
+    nvm_llc_obs::info!(
+        "serve", "slow_request";
+        "trace_id" => format!("{:032x}", collector.trace_id()),
+        "target" => request.raw_target.as_str(),
+        "status" => u64::from(status),
+        "reason" => reason,
+        "total_us" => total_micros as u64,
+        "queue_us" => phase.queue as u64,
+        "parse_us" => phase.parse as u64,
+        "tape_fetch_us" => phase.tape_fetch as u64,
+        "functional_us" => phase.functional as u64,
+        "replay_us" => phase.replay as u64,
+        "store_us" => phase.store as u64,
+        "proxy_us" => phase.proxy as u64,
+    );
+    shared.tracez.push(RetainedTrace {
+        trace_id: collector.trace_id(),
+        target: request.raw_target.clone(),
+        status,
+        reason,
+        total_micros,
+        node: shared.node_label.clone(),
+        spans,
+    });
+}
+
+/// The tail-sampling slowness threshold in microseconds: the configured
+/// `--trace-slow-ms`, or the live p99 of the handler-latency histogram.
+fn slow_threshold_micros(shared: &Shared) -> f64 {
+    match shared.config.trace_slow_ms {
+        Some(ms) => ms as f64 * 1000.0,
+        None => metrics::request_seconds().quantile(0.99) * 1e6,
+    }
+}
+
+/// Wall time attributed to each request phase, in microseconds.
+#[derive(Debug, Default)]
+struct PhaseMicros {
+    queue: f64,
+    parse: f64,
+    tape_fetch: f64,
+    functional: f64,
+    replay: f64,
+    store: f64,
+    proxy: f64,
+}
+
+/// Sums span durations into request phases by span name. Only
+/// same-level spans contribute to one phase (`tape_replay_chunk` nests
+/// inside `tape_replay_batch` and would double-count).
+fn phase_micros(spans: &[nvm_llc_obs::trace::SpanRecord]) -> PhaseMicros {
+    let mut phase = PhaseMicros::default();
+    for span in spans {
+        let bucket = match span.name.as_str() {
+            "queue" => &mut phase.queue,
+            "parse" => &mut phase.parse,
+            "tape_fetch" => &mut phase.tape_fetch,
+            "tape_record" | "trace_generate" | "tape_decode" => &mut phase.functional,
+            "tape_replay" | "tape_replay_batch" => &mut phase.replay,
+            "proxy_upstream" => &mut phase.proxy,
+            name if name.starts_with("store_") => &mut phase.store,
+            _ => continue,
+        };
+        *bucket += span.dur_micros;
+    }
+    phase
 }
 
 fn route(shared: &Shared, request: &http::Request) -> (u16, &'static str, String) {
@@ -892,6 +1112,17 @@ fn route(shared: &Shared, request: &http::Request) -> (u16, &'static str, String
         "/healthz" => (200, "text/plain", "ok\n".to_owned()),
         "/statsz" => (200, "application/json", render_statsz(shared)),
         "/metricsz" => (200, "text/plain; version=0.0.4", render_metricsz(shared)),
+        "/tracez" => {
+            if request.param("format") == Some("chrome") {
+                (200, "application/json", shared.tracez.render_chrome())
+            } else {
+                // Prefix the ring's JSON with this server's lane label.
+                let json = shared.tracez.render_json();
+                let body = format!("{{\"node\":\"{}\",{}", shared.node_label, &json[1..]);
+                (200, "application/json", body)
+            }
+        }
+        "/clusterz" => (200, "text/plain; version=0.0.4", render_clusterz(shared)),
         "/eval" | "/row" => {
             let (status, body) = eval_or_forward(shared, request);
             (status, "application/json", body)
@@ -1046,7 +1277,7 @@ fn shard_dispatch(
         state.fallbacks.fetch_add(1, Ordering::Relaxed);
         return eval_parsed(shared, parsed);
     }
-    match state.peers[owner].get(&request.raw_target, &[(HOP_HEADER, "1")]) {
+    match proxy_request(&state.peers[owner], request) {
         Ok((status, body)) if status < 500 => {
             metrics::proxy_hops("forwarded").inc();
             state.forwards[owner].fetch_add(1, Ordering::Relaxed);
@@ -1059,6 +1290,31 @@ fn shard_dispatch(
             eval_parsed(shared, parsed)
         }
     }
+}
+
+/// One hop-marked proxy round trip with trace propagation: the current
+/// trace context (if any) rides upstream in [`trace::TRACE_HEADER`],
+/// and the upstream's span records come back in [`trace::SPANS_HEADER`]
+/// and are stitched into the local collector under the proxy span.
+fn proxy_request(peer: &Pool, request: &http::Request) -> std::io::Result<(u16, String)> {
+    let context = trace::outbound_context().map(|c| c.encode());
+    let mut headers: Vec<(&str, &str)> = vec![(HOP_HEADER, "1")];
+    if let Some(context) = &context {
+        headers.push((trace::TRACE_HEADER, context));
+    }
+    // Remote span offsets are relative to the upstream's request start,
+    // which is (to within network latency) now.
+    let base_micros = trace::current().map(|c| c.elapsed_micros());
+    let response = {
+        let _span = nvm_llc_obs::span!("proxy_upstream");
+        peer.request(&request.raw_target, &headers)?
+    };
+    if let (Some(collector), Some(base)) = (trace::current(), base_micros) {
+        if let Some(spans) = response.header(trace::SPANS_HEADER) {
+            collector.ingest_remote(spans, base);
+        }
+    }
+    Ok((response.status, response.body))
 }
 
 /// Router placement: forward to the owner; if the owner is unreachable,
@@ -1074,7 +1330,7 @@ fn router_forward(
     let n = state.peers.len();
     for attempt in 0..n {
         let peer = (owner + attempt) % n;
-        match state.peers[peer].get(&request.raw_target, &[(HOP_HEADER, "1")]) {
+        match proxy_request(&state.peers[peer], request) {
             Ok((status, body)) if status < 500 => {
                 metrics::proxy_hops(if attempt == 0 {
                     "forwarded"
@@ -1152,9 +1408,17 @@ fn evaluate(shared: &Shared, request: &EvalRequest) -> Result<String, (u16, Stri
         ));
     }
     metrics::inflight_evals().set(shared.inflight_evals.load(Ordering::SeqCst) as u64);
+    // RAII: the slot is released (and the gauge resynced) even if the
+    // evaluation panics, so the cap can never leak closed.
+    struct InflightGuard<'a>(&'a Shared);
+    impl Drop for InflightGuard<'_> {
+        fn drop(&mut self) {
+            self.0.inflight_evals.fetch_sub(1, Ordering::SeqCst);
+            metrics::inflight_evals().set(self.0.inflight_evals.load(Ordering::SeqCst) as u64);
+        }
+    }
+    let _guard = InflightGuard(shared);
     let result = run_evaluation(shared, request);
-    shared.inflight_evals.fetch_sub(1, Ordering::SeqCst);
-    metrics::inflight_evals().set(shared.inflight_evals.load(Ordering::SeqCst) as u64);
     shared.counters.evaluations.fetch_add(1, Ordering::Relaxed);
     metrics::evaluations().inc();
     result
@@ -1225,6 +1489,11 @@ fn render_statsz(shared: &Shared) -> String {
         Role::Shard(state) | Role::Router(state) => state.render_json(),
     };
     let tc = nvm_llc_sim::tape::cache::stats();
+    let latency = format!(
+        "{{\"request\":{},\"queue_wait\":{}}}",
+        quantiles_json(metrics::request_seconds()),
+        quantiles_json(metrics::queue_wait_seconds()),
+    );
     sync_scrape_gauges(shared);
     format!(
         "{{\"queue_depth\":{queue_depth},\"queue_capacity\":{},\"workers\":{},\
@@ -1234,6 +1503,8 @@ fn render_statsz(shared: &Shared) -> String {
          \"store_hits\":{},\"resident_bytes\":{},\"evictions\":{}}},\
          \"uptime_seconds\":{},\"build\":{{\"version\":\"{}\",\"git_hash\":\"{}\"}},\
          \"requests_by_class\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\
+         \"latency\":{latency},\
+         \"trace\":{{\"captured\":{},\"slow_threshold_us\":{}}},\
          \"cluster\":{cluster},\
          \"metrics\":{}}}",
         shared.config.queue_capacity,
@@ -1256,7 +1527,20 @@ fn render_statsz(shared: &Shared) -> String {
         c.by_class[0].load(Ordering::Relaxed),
         c.by_class[1].load(Ordering::Relaxed),
         c.by_class[2].load(Ordering::Relaxed),
+        shared.tracez.len(),
+        slow_threshold_micros(shared) as u64,
         nvm_llc_obs::metrics::render_json(),
+    )
+}
+
+/// `p50/p95/p99` of one histogram as a JSON object, in whole
+/// microseconds (integers keep the stats scrapable with naive parsers).
+fn quantiles_json(hist: &nvm_llc_obs::metrics::Histogram) -> String {
+    format!(
+        "{{\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+        (hist.quantile(0.5) * 1e6) as u64,
+        (hist.quantile(0.95) * 1e6) as u64,
+        (hist.quantile(0.99) * 1e6) as u64,
     )
 }
 
@@ -1283,6 +1567,114 @@ fn sync_scrape_gauges(shared: &Shared) {
 fn render_metricsz(shared: &Shared) -> String {
     sync_scrape_gauges(shared);
     nvm_llc_obs::metrics::render_prometheus()
+}
+
+/// `GET /clusterz`: every shard's `/metricsz` scraped over the
+/// keep-alive pools and merged ([`nvm_llc_obs::federate`]) into one
+/// cluster-level Prometheus view — counters summed, same-bounds
+/// histograms merged — followed by a per-shard breakdown: up, request
+/// total, latency quantiles, resident store bytes, evaluations. Both
+/// halves render from the same scrape pass, so the merged totals always
+/// equal the sum of the breakdown lines.
+fn render_clusterz(shared: &Shared) -> String {
+    use nvm_llc_obs::federate::{self, Scrape};
+    use std::fmt::Write as _;
+
+    // One scrape per shard, in shard-id order; `None` marks a shard
+    // that is down or failed to answer. A standalone node federates
+    // its own registry so the endpoint has one shape everywhere.
+    let shards: Vec<(String, Option<Scrape>)> = match &shared.role {
+        Role::Node => vec![(
+            "self".to_owned(),
+            Some(federate::parse(&render_metricsz(shared))),
+        )],
+        Role::Shard(state) | Role::Router(state) => state
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, peer)| {
+                let scrape = if Some(i) == state.self_id {
+                    Some(federate::parse(&render_metricsz(shared)))
+                } else {
+                    match peer.get("/metricsz", &[]) {
+                        Ok((200, body)) => Some(federate::parse(&body)),
+                        Ok(_) | Err(_) => None,
+                    }
+                };
+                (i.to_string(), scrape)
+            })
+            .collect(),
+    };
+
+    let up: Vec<Scrape> = shards
+        .iter()
+        .filter_map(|(_, s)| s.as_ref().cloned())
+        .collect();
+    let mut out = federate::merge(&up).render();
+
+    out.push_str("# HELP nvmllc_cluster_shard_up Whether the shard answered this scrape.\n");
+    out.push_str("# TYPE nvmllc_cluster_shard_up gauge\n");
+    for (label, scrape) in &shards {
+        let _ = writeln!(
+            out,
+            "nvmllc_cluster_shard_up{{shard=\"{label}\"}} {}",
+            u8::from(scrape.is_some())
+        );
+    }
+    // Per-shard breakdown of the headline families, labeled by shard.
+    let scalar = |out: &mut String, family: &str, source: &str, help: &str, kind: &str| {
+        let _ = writeln!(out, "# HELP {family} {help}");
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        for (label, scrape) in &shards {
+            let Some(scrape) = scrape else { continue };
+            let _ = writeln!(
+                out,
+                "{family}{{shard=\"{label}\"}} {}",
+                scrape.scalar_total(source)
+            );
+        }
+    };
+    scalar(
+        &mut out,
+        "nvmllc_cluster_shard_requests_total",
+        "nvmllc_serve_requests_total",
+        "HTTP responses sent by each shard.",
+        "counter",
+    );
+    scalar(
+        &mut out,
+        "nvmllc_cluster_shard_evaluations_total",
+        "nvmllc_serve_evaluations_total",
+        "Evaluations run by each shard.",
+        "counter",
+    );
+    scalar(
+        &mut out,
+        "nvmllc_cluster_shard_store_resident_bytes",
+        "nvmllc_store_resident_bytes",
+        "Result-store bytes resident on each shard.",
+        "gauge",
+    );
+    out.push_str(
+        "# HELP nvmllc_cluster_shard_request_seconds Handler-latency quantiles per shard.\n",
+    );
+    out.push_str("# TYPE nvmllc_cluster_shard_request_seconds gauge\n");
+    for (label, scrape) in &shards {
+        let Some(hist) = scrape
+            .as_ref()
+            .and_then(|s| s.histogram("nvmllc_serve_request_seconds"))
+        else {
+            continue;
+        };
+        for q in ["0.5", "0.95", "0.99"] {
+            let value = hist.quantile(q.parse().expect("literal quantile"));
+            let _ = writeln!(
+                out,
+                "nvmllc_cluster_shard_request_seconds{{shard=\"{label}\",quantile=\"{q}\"}} {value}"
+            );
+        }
+    }
+    out
 }
 
 /// Process signal plumbing for the daemon: SIGTERM/SIGINT set a flag
@@ -1384,6 +1776,8 @@ mod tests {
             "64",
             "--idle-timeout-ms",
             "250",
+            "--trace-slow-ms",
+            "75",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1398,6 +1792,7 @@ mod tests {
         assert_eq!(c.store_dir, Some(PathBuf::from("/tmp/x")));
         assert_eq!(c.max_requests_per_conn, 64);
         assert_eq!(c.idle_timeout_ms, 250);
+        assert_eq!(c.trace_slow_ms, Some(75));
         assert!(c.cluster.is_none());
     }
 

@@ -91,17 +91,22 @@ impl Pool {
         conn.recv()
     }
 
-    /// One `GET target` round trip over a pooled connection. Reused
+    /// One `GET target` round trip over a pooled connection, returning
+    /// the full parsed response (status, headers, body). Reused
     /// connections that fail retry once on a fresh dial; only the fresh
     /// connection's error propagates (a genuinely down upstream).
-    pub fn get(&self, target: &str, headers: &[(&str, &str)]) -> io::Result<(u16, String)> {
+    pub fn request(
+        &self,
+        target: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<crate::http::Response> {
         if let Some(mut conn) = self.check_out() {
             match self.round_trip(&mut conn, target, headers) {
                 Ok(response) => {
                     if !response.close {
                         self.check_in(conn);
                     }
-                    return Ok((response.status, response.body));
+                    return Ok(response);
                 }
                 Err(_) => {
                     // Stale idle connection; fall through to a fresh dial.
@@ -113,6 +118,13 @@ impl Pool {
         if !response.close {
             self.check_in(conn);
         }
+        Ok(response)
+    }
+
+    /// [`Pool::request`] reduced to `(status, body)` — the common
+    /// proxying shape.
+    pub fn get(&self, target: &str, headers: &[(&str, &str)]) -> io::Result<(u16, String)> {
+        let response = self.request(target, headers)?;
         Ok((response.status, response.body))
     }
 }

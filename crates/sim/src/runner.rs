@@ -519,14 +519,22 @@ impl Evaluator {
             }
         } else {
             let next = AtomicUsize::new(0);
+            // Worker threads inherit the caller's trace context (if a
+            // request is being traced) so their spans land in its tree.
+            let trace = nvm_llc_obs::trace::handle();
+            let (next, groups, slots, place) = (&next, &groups, &slots, &place);
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let item = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((pi, wi, cols)) = groups.get(item) else {
-                            break;
-                        };
-                        place(&slots, *pi, *wi, cols);
+                    let trace = trace.clone();
+                    scope.spawn(move || {
+                        let _trace = trace.map(|h| h.attach());
+                        loop {
+                            let item = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((pi, wi, cols)) = groups.get(item) else {
+                                break;
+                            };
+                            place(slots.as_slice(), *pi, *wi, cols);
+                        }
                     });
                 }
             });

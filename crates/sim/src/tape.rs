@@ -996,6 +996,10 @@ pub mod cache {
             resident_bytes();
             for (name, help) in [
                 (
+                    "nvmllc_tape_fetch_seconds",
+                    "Wall time of the `tape_fetch` span (cache hit or full fetch).",
+                ),
+                (
                     "nvmllc_tape_record_seconds",
                     "Wall time of the `tape_record` span.",
                 ),
@@ -1084,6 +1088,7 @@ pub mod cache {
         trace: &Arc<Trace>,
         store: Option<&Arc<nvm_llc_store::Store>>,
     ) -> Arc<OutcomeTape> {
+        let _span = nvm_llc_obs::span!("tape_fetch");
         let key = system.tape_key(trace);
         let (slot, fresh) = {
             let mut inner = inner().lock().expect("tape cache lock");

@@ -65,6 +65,9 @@ fn start_cluster(dir: &std::path::Path) -> (Vec<Server>, Server, Vec<String>) {
     let router = Server::start_router(RouterConfig {
         addr: "127.0.0.1:0".into(),
         peers: peers.clone(),
+        // Tail-sample every traced request so the tests below can
+        // assert on stitched span trees deterministically.
+        trace_slow_ms: Some(0),
         ..RouterConfig::default()
     })
     .expect("start router");
@@ -220,6 +223,100 @@ fn a_restarted_shard_warm_reloads_from_its_store() {
 
     router.shutdown();
     restarted.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One request through the router must come back as ONE stitched trace:
+/// the router's local spans plus the owning shard's remote spans under
+/// a single trace id, rendered in chrome format as distinct process
+/// lanes per node.
+#[test]
+fn a_routed_request_stitches_one_trace_and_clusterz_federates_all_shards() {
+    let dir = std::env::temp_dir().join(format!("nvm-llc-trace-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (shards, router, _) = start_cluster(&dir);
+
+    // Drive one row per shard through the router so every shard serves
+    // (and at least one request genuinely crosses processes).
+    for (workload, accesses) in rows_covering_all_shards() {
+        let target = format!("/row?workload={workload}&accesses={accesses}");
+        let (status, _) = http::get(router.addr(), &target).unwrap();
+        assert_eq!(status, 200, "{target}");
+    }
+
+    // The router retained every request (threshold 0); each tree must
+    // hold the router's own spans AND the shard's remote spans.
+    let (status, tracez) = http::get(router.addr(), "/tracez").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        field_after(&tracez, "", "captured") >= SHARDS as u64,
+        "router must retain one trace per routed row: {tracez}"
+    );
+    assert!(
+        tracez.contains("\"name\":\"proxy_upstream\""),
+        "router-local proxy span missing: {tracez}"
+    );
+    assert!(
+        tracez.contains("\"node\":\"shard-"),
+        "remote shard spans must be stitched into the router's trees: {tracez}"
+    );
+    assert!(
+        tracez.contains("\"name\":\"serve_handle\""),
+        "the shard's handler span must ride back in the response header: {tracez}"
+    );
+
+    // Chrome export: one process lane per node label, so a cross-process
+    // request renders at least two distinct pids (router + shard).
+    let (status, chrome) = http::get(router.addr(), "/tracez?format=chrome").unwrap();
+    assert_eq!(status, 200);
+    let pids: std::collections::HashSet<String> = chrome
+        .split("\"pid\":")
+        .skip(1)
+        .map(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .collect();
+    assert!(
+        pids.len() >= 2,
+        "chrome export must show >= 2 process lanes, got {pids:?}: {chrome}"
+    );
+
+    // /clusterz on the router: all shards up, and the merged counters
+    // equal the sum of the per-shard breakdown rendered from the very
+    // same scrape pass.
+    let (status, clusterz) = http::get(router.addr(), "/clusterz").unwrap();
+    assert_eq!(status, 200);
+    for shard in 0..SHARDS {
+        assert!(
+            clusterz.contains(&format!("nvmllc_cluster_shard_up{{shard=\"{shard}\"}} 1")),
+            "shard {shard} must scrape as up: {clusterz}"
+        );
+    }
+    let sum_of = |prefix: &str| -> f64 {
+        clusterz
+            .lines()
+            .filter(|line| line.starts_with(prefix))
+            .map(|line| line.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap())
+            .sum()
+    };
+    let merged = sum_of("nvmllc_serve_requests_total");
+    let per_shard = sum_of("nvmllc_cluster_shard_requests_total");
+    assert!(merged > 0.0, "{clusterz}");
+    assert_eq!(
+        merged, per_shard,
+        "merged request total must equal the per-shard breakdown: {clusterz}"
+    );
+    assert!(
+        clusterz.contains("nvmllc_cluster_shard_request_seconds{shard=\"0\",quantile=\"0.99\"}"),
+        "per-shard latency quantiles missing: {clusterz}"
+    );
+
+    router.shutdown();
     for shard in shards {
         shard.shutdown();
     }

@@ -451,3 +451,272 @@ fn statsz_reports_uptime_build_info_and_status_classes() {
     );
     server.shutdown();
 }
+
+/// Extracts the unlabeled sample `NAME <value>` from a `/metricsz` body.
+fn metric_value(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find(|line| {
+            line.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|line| line.rsplit_once(' '))
+        .map(|(_, value)| value.parse().expect("metric value"))
+        .unwrap_or_else(|| panic!("no sample for {name}"))
+}
+
+/// Every early-return path — 400 malformed, 431 oversized, 503 shed,
+/// 429 busy, idle-timeout close — must leave the queue-depth and
+/// inflight-evals gauges balanced at zero and account the connection in
+/// `requests_per_conn`.
+#[test]
+fn early_return_paths_leave_gauges_balanced() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_evals: 0, // every evaluation leader answers 429
+        idle_timeout_ms: 150,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // 400: malformed head, connection survives for the next request.
+    let (mut stream, mut reader) = raw_client(&server);
+    stream
+        .write_all(b"GARBAGE\r\nHost: x\r\n\r\nGET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    assert_eq!(reader.recv().unwrap().status, 400);
+    assert_eq!(reader.recv().unwrap().status, 200);
+    drop((stream, reader));
+
+    // 429: the zero in-flight cap rejects every evaluation.
+    let (status, _) = http::get(addr, "/eval?workload=lu&tech=Kang&accesses=4000").unwrap();
+    assert_eq!(status, 429);
+
+    // 431 closes after one response; that connection must still land in
+    // the requests_per_conn histogram (served = 1, not 0). The registry
+    // is process-global, so assert a >= +1 delta rather than equality.
+    let (_, before_scrape) = http::get(addr, "/metricsz").unwrap();
+    let before = metric_value(&before_scrape, "nvmllc_serve_requests_per_conn_sum");
+    let (mut stream, mut reader) = raw_client(&server);
+    stream
+        .write_all(format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n", "y".repeat(20_000)).as_bytes())
+        .unwrap();
+    assert_eq!(reader.recv().unwrap().status, 431);
+    drop((stream, reader));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let (_, scrape) = http::get(addr, "/metricsz").unwrap();
+        if metric_value(&scrape, "nvmllc_serve_requests_per_conn_sum") >= before + 1.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the 431 connection never recorded into requests_per_conn"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Idle timeout: one served request, then the server closes the
+    // quiet connection.
+    let (mut stream, mut reader) = raw_client(&server);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    assert_eq!(reader.recv().unwrap().status, 200);
+    assert!(
+        reader.recv().is_err(),
+        "the idle connection must be closed by the server"
+    );
+
+    // 503: a zero-capacity queue sheds every connection at accept.
+    let shedding = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let (status, _) = http::get(shedding.addr(), "/healthz").unwrap();
+    assert_eq!(status, 503);
+    shedding.shutdown();
+
+    // After every error path above: both load gauges balanced at zero.
+    let (_, stats) = http::get(addr, "/statsz").unwrap();
+    assert_eq!(
+        field_after(&stats, "", "queue_depth"),
+        0,
+        "queue_depth must return to zero: {stats}"
+    );
+    assert_eq!(
+        field_after(&stats, "", "inflight_evals"),
+        0,
+        "inflight_evals must return to zero: {stats}"
+    );
+    server.shutdown();
+}
+
+/// `/statsz` surfaces p50/p95/p99 of the handler-latency and queue-wait
+/// histograms, plus the tail-sampling summary.
+#[test]
+fn statsz_reports_latency_quantiles_and_trace_summary() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, _) = http::get(addr, "/eval?workload=lu&tech=Kang&accesses=4000").unwrap();
+    assert_eq!(status, 200);
+
+    let (_, stats) = http::get(addr, "/statsz").unwrap();
+    assert!(
+        stats.contains("\"latency\":{\"request\":{\"p50_us\":"),
+        "request latency quantiles missing: {stats}"
+    );
+    assert!(
+        stats.contains("\"queue_wait\":{\"p50_us\":"),
+        "queue-wait quantiles missing: {stats}"
+    );
+    let p50 = field_after(&stats, "\"latency\":", "p50_us");
+    let p99 = field_after(&stats, "\"latency\":", "p99_us");
+    assert!(p99 >= p50, "quantiles must be monotone: {stats}");
+    // The trace block always renders, capture or not.
+    let _ = field_after(&stats, "\"trace\":", "captured");
+    let _ = field_after(&stats, "\"trace\":", "slow_threshold_us");
+    server.shutdown();
+}
+
+/// Serializes the tests that toggle or depend on the process-global
+/// span-timing flag ([`nvm_llc::obs::set_enabled`]).
+static ENABLED_FLAG: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// With `--trace-slow-ms 0` every traced request is tail-sampled into
+/// `/tracez`, complete with the synthetic queue/parse spans and the
+/// handler span tree; errors are retained regardless of latency.
+#[test]
+fn tracez_captures_slow_and_error_requests_with_phase_spans() {
+    let _enabled = ENABLED_FLAG.lock().unwrap();
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        trace_slow_ms: Some(0),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, _) = http::get(addr, "/eval?workload=lu&tech=Kang&accesses=4000").unwrap();
+    assert_eq!(status, 200);
+
+    let (status, tracez) = http::get(addr, "/tracez").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        tracez.starts_with("{\"node\":\"node\","),
+        "tracez must lead with the server's lane label: {tracez}"
+    );
+    assert!(field_after(&tracez, "", "captured") >= 1, "{tracez}");
+    assert!(tracez.contains("\"reason\":\"slow\""), "{tracez}");
+    for span in ["serve_handle", "queue", "parse", "tape_fetch"] {
+        assert!(
+            tracez.contains(&format!("\"name\":\"{span}\"")),
+            "span {span} missing from the retained tree: {tracez}"
+        );
+    }
+
+    // Errors are retained regardless of latency or threshold.
+    let (status, _) = http::get(addr, "/eval?workload=nope&tech=Kang").unwrap();
+    assert_eq!(status, 400);
+    let (_, tracez) = http::get(addr, "/tracez").unwrap();
+    assert!(tracez.contains("\"reason\":\"error\""), "{tracez}");
+    assert!(tracez.contains("\"status\":400"), "{tracez}");
+
+    // The chrome export renders complete events with a named lane.
+    let (status, chrome) = http::get(addr, "/tracez?format=chrome").unwrap();
+    assert_eq!(status, 200);
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    assert!(chrome.contains("\"name\":\"serve_handle\""), "{chrome}");
+    assert!(chrome.contains("\"name\":\"process_name\""), "{chrome}");
+    server.shutdown();
+}
+
+/// A standalone node federates itself: `/clusterz` is valid Prometheus
+/// with the shard breakdown collapsed to `shard="self"`.
+#[test]
+fn clusterz_on_a_standalone_node_reports_itself() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let (status, _) = http::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    let (status, clusterz) = http::get(addr, "/clusterz").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        clusterz.contains("nvmllc_cluster_shard_up{shard=\"self\"} 1"),
+        "{clusterz}"
+    );
+    assert!(
+        clusterz.contains("nvmllc_serve_requests_total{"),
+        "the merged registry must carry the serve families: {clusterz}"
+    );
+    assert!(
+        clusterz.contains("nvmllc_cluster_shard_requests_total{shard=\"self\"}"),
+        "{clusterz}"
+    );
+    server.shutdown();
+}
+
+/// With span timing disabled the server emits no trace headers at all:
+/// a hop-marked traced request and the same request untraced produce
+/// byte-identical response heads, so tracing is free to turn off.
+#[test]
+fn disabled_span_timing_emits_no_trace_headers_and_identical_bytes() {
+    let _enabled = ENABLED_FLAG.lock().unwrap();
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        trace_slow_ms: Some(0),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let context = "000102030405060708090a0b0c0d0e0f-0011223344556677-1";
+    let target = "/eval?workload=x264&tech=Jan&accesses=4000";
+    let send = |headers: &[(&str, &str)]| {
+        let mut conn = http::ClientConn::connect(server.addr()).unwrap();
+        conn.send(target, headers).unwrap();
+        conn.flush().unwrap();
+        conn.recv().unwrap()
+    };
+
+    // Enabled: a hop-marked request gets its spans back in a header.
+    assert!(nvm_llc::obs::enabled(), "span timing defaults on");
+    let traced = send(&[(nvm_llc::obs::trace::TRACE_HEADER, context)]);
+    assert_eq!(traced.status, 200);
+    assert!(
+        traced.header(nvm_llc::obs::trace::SPANS_HEADER).is_some(),
+        "a traced hop must return its span records"
+    );
+
+    // Disabled: the same request carries no trace header, and its whole
+    // response (status, headers, body) matches an untraced request's.
+    nvm_llc::obs::set_enabled(false);
+    let off = send(&[(nvm_llc::obs::trace::TRACE_HEADER, context)]);
+    let plain = send(&[]);
+    nvm_llc::obs::set_enabled(true);
+    assert_eq!(off.status, 200);
+    assert!(
+        off.header(nvm_llc::obs::trace::SPANS_HEADER).is_none(),
+        "disabled tracing must emit no trace headers"
+    );
+    assert_eq!(off.body, traced.body, "tracing must never change a body");
+    assert_eq!(
+        off.headers, plain.headers,
+        "with tracing off the wire heads must be identical"
+    );
+    server.shutdown();
+}
